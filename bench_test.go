@@ -1,0 +1,309 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), one benchmark per artifact, plus the design-choice ablations from
+// DESIGN.md and micro-benchmarks of the core machinery. Scales are
+// laptop-friendly; raise them through internal/experiments.Config (or the
+// cmd/experiments flags) to approach the paper's dataset sizes.
+//
+//	go test -bench=. -benchmem .
+package deltarepair_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mas"
+	"repro/internal/programs"
+	"repro/internal/sat"
+	"repro/internal/tpch"
+)
+
+// benchCfg is the shared benchmark configuration: small datasets, paper
+// ladder scaled to the row count.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		MASScale:    0.01,
+		TPCHScale:   0.005,
+		Rows:        600,
+		Errors:      24,
+		Seed:        1,
+		IndMaxNodes: 150000,
+		ErrorLevels: []int{12, 24, 36, 60, 84, 120},
+	}
+}
+
+// --- Table 3: containment of results -------------------------------------
+
+func BenchmarkTable3Containment(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		masRuns, _, err := experiments.RunMAS(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tpchRuns, _, err := experiments.RunTPCH(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table3(append(masRuns, tpchRuns...))
+		if len(rows) != 26 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Figure 6: result sizes over the MAS programs ------------------------
+
+func benchSizes(b *testing.B, selected []int, wantRows int) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.RunMAS(cfg, selected)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := experiments.Sizes(runs); len(rows) != wantRows {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig6aResultSizes(b *testing.B) {
+	benchSizes(b, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 10)
+}
+
+func BenchmarkFig6bResultSizes(b *testing.B) {
+	benchSizes(b, []int{11, 12, 13, 14, 15}, 5)
+}
+
+func BenchmarkFig6cResultSizes(b *testing.B) {
+	benchSizes(b, []int{16, 17, 18, 19, 20}, 5)
+}
+
+// --- Figure 7: MAS execution times ----------------------------------------
+
+func BenchmarkFig7Runtimes(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.RunMAS(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := experiments.Times(runs); len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Figure 8: runtime breakdown of Algorithms 1 and 2 --------------------
+
+func BenchmarkFig8Breakdown(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.RunMAS(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Breakdown(runs, "1-15", func(r *experiments.ProgramRun) bool { return r.Number <= 15 })
+		rows = append(rows, experiments.Breakdown(runs, "16-20", func(r *experiments.ProgramRun) bool { return r.Number >= 16 })...)
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Figure 9: TPC-H sizes and runtimes ------------------------------------
+
+func BenchmarkFig9aTPCHSizes(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.RunTPCH(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := experiments.Sizes(runs); len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig9bTPCHRuntimes(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		runs, _, err := experiments.RunTPCH(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows := experiments.Times(runs); len(rows) != 6 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Tables 4 and 5: the HoloClean comparison ------------------------------
+
+func BenchmarkTable4OverDeletion(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t4, _, err := experiments.Tables4And5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t4) != len(cfg.ErrorLevels) {
+			b.Fatalf("rows = %d", len(t4))
+		}
+	}
+}
+
+func BenchmarkTable5Violations(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		_, t5, err := experiments.Tables4And5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t5) != len(cfg.ErrorLevels) {
+			b.Fatalf("rows = %d", len(t5))
+		}
+	}
+}
+
+// --- Figure 10: HoloClean runtime sweeps -----------------------------------
+
+func BenchmarkFig10aErrors(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10Errors(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(cfg.ErrorLevels) {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig10bRows(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10Rows(cfg, []int{300, 600, 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Trigger comparison -----------------------------------------------------
+
+func BenchmarkTriggerComparison(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TriggerComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(experiments.TriggerPrograms) {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkAblations(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ----------------------------------
+
+// BenchmarkSemantics measures each executor on the cascade program 10
+// (the workload where all four semantics do the same amount of deletion
+// work), isolating executor overhead.
+func BenchmarkSemantics(b *testing.B) {
+	ds := mas.Generate(mas.Config{Scale: 0.02, Seed: 1})
+	p, err := programs.MAS(10, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sem := range core.AllSemantics {
+		b.Run(sem.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Run(ds.DB, p, sem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluationStrategies contrasts seminaive and naive end-semantics
+// evaluation on the 5-layer cascade (the DESIGN.md evaluation ablation).
+func BenchmarkEvaluationStrategies(b *testing.B) {
+	ds := mas.Generate(mas.Config{Scale: 0.05, Seed: 1})
+	p, err := programs.MAS(20, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RunEnd(ds.DB, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RunEndNaive(ds.DB, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMinOnesSolver measures the Min-Ones search on a layered
+// vertex-cover-style instance (the shape Algorithm 1 produces for DC
+// programs).
+func BenchmarkMinOnesSolver(b *testing.B) {
+	build := func() *sat.Formula {
+		const stars, leaves = 120, 5
+		f := sat.NewFormula(stars * (leaves + 1))
+		v := 1
+		for s := 0; s < stars; s++ {
+			hub := v
+			v++
+			for l := 0; l < leaves; l++ {
+				f.AddClause(hub, v)
+				v++
+			}
+		}
+		return f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sat.MinOnes(build(), sat.Options{})
+		if !res.Satisfiable || res.Cost != 120 {
+			b.Fatalf("cost = %d", res.Cost)
+		}
+	}
+}
+
+// BenchmarkTPCHGeneration measures dataset generation throughput.
+func BenchmarkTPCHGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := tpch.Generate(tpch.Config{Scale: 0.02, Seed: int64(i)})
+		if ds.Total() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}

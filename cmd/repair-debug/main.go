@@ -1,0 +1,81 @@
+// Command repair-debug is an interactive step-semantics debugger: it loads
+// a database and delta program (the same -schema/-program/-data flags as
+// cmd/deltarepair, or the paper's running example by default) and lets you
+// be the nondeterministic scheduler of Def. 3.5 — listing the currently
+// deletable tuples, firing them one at a time, undoing, asking for
+// explanations, and handing the remainder to any automatic semantics.
+//
+//	repair-debug                       # the paper's running example
+//	repair-debug -schema s.txt -program p.dl -data ./csv
+//
+// Session commands: violations, fire N, undo, auto <semantics>,
+// show <relation>, explain N, status, help, quit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	deltarepair "repro"
+	"repro/internal/programs"
+	"repro/internal/repl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repair-debug:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	schemaPath := flag.String("schema", "", "schema declaration file")
+	programPath := flag.String("program", "", "delta program file")
+	dataDir := flag.String("data", "", "directory of <Relation>.csv files")
+	flag.Parse()
+
+	var db *deltarepair.Database
+	var prog *deltarepair.Program
+	if *schemaPath == "" && *programPath == "" && *dataDir == "" {
+		fmt.Println("No inputs given; debugging the paper's running example (Figures 1-2).")
+		db = programs.RunningExampleDB()
+		p, err := programs.RunningExampleProgram()
+		if err != nil {
+			return err
+		}
+		prog = p
+	} else {
+		if *schemaPath == "" || *programPath == "" || *dataDir == "" {
+			return fmt.Errorf("-schema, -program and -data must be given together")
+		}
+		schemaSrc, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			return err
+		}
+		schema, err := deltarepair.ParseSchema(string(schemaSrc))
+		if err != nil {
+			return err
+		}
+		db = deltarepair.NewDatabase(schema)
+		for _, rs := range schema.Relations {
+			path := filepath.Join(*dataDir, rs.Name+".csv")
+			if _, statErr := os.Stat(path); statErr != nil {
+				continue
+			}
+			if _, err := db.LoadCSVFile(rs.Name, path); err != nil {
+				return err
+			}
+		}
+		progSrc, err := os.ReadFile(*programPath)
+		if err != nil {
+			return err
+		}
+		prog, err = deltarepair.ParseProgram(string(progSrc), schema)
+		if err != nil {
+			return err
+		}
+	}
+	return repl.New(db, prog, os.Stdout).Run(os.Stdin)
+}

@@ -1,0 +1,283 @@
+// Package deltarepair is a Go implementation of the delta-rule database
+// repair framework from "On Multiple Semantics for Declarative Database
+// Repairs" (Gilad, Deutch, Roy — SIGMOD 2020).
+//
+// Delta rules declaratively specify deletion-based repairs: a rule
+//
+//	Delta_Author(a, n) :- Author(a, n), AuthGrant(a, g), Delta_Grant(g, gn).
+//
+// reads "if grant g was deleted and author a won it, delete a". A delta
+// program can express denial constraints, cascade deletions (SQL "after
+// delete" triggers), and causal rules. Because one program admits several
+// reasonable interpretations, the framework defines four semantics:
+//
+//   - Independent — the globally minimum set of deletions that leaves no
+//     rule satisfiable (optimal repair; NP-hard, solved via provenance +
+//     Min-Ones-SAT, the paper's Algorithm 1);
+//   - Step — fire one rule instance at a time, updating immediately
+//     (trigger-like; NP-hard to minimize, approximated by the paper's
+//     greedy provenance-graph Algorithm 2);
+//   - Stage — fire all satisfiable instances per round, then update
+//     (deterministic cascade; PTIME);
+//   - End — derive every deletable tuple first, update once at the end
+//     (datalog baseline; PTIME).
+//
+// The typical flow:
+//
+//	schema, _ := deltarepair.ParseSchema(`Grant(gid, name)
+//	                                      Author(aid, name)`)
+//	db := deltarepair.NewDatabase(schema)
+//	db.MustInsert("Grant", deltarepair.Int(2), deltarepair.Str("ERC"))
+//	prog, _ := deltarepair.ParseProgram(
+//	    `Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.`, schema)
+//	result, repaired, _ := deltarepair.Repair(db, prog, deltarepair.Independent)
+//
+// See the examples/ directory for complete programs, and DESIGN.md for the
+// architecture and the paper-experiment index.
+package deltarepair
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/sideeffect"
+	"repro/internal/viz"
+)
+
+// Re-exported core types: the public API is a thin facade over the
+// internal packages, so all methods on these types are available.
+type (
+	// Schema declares relations and their attributes.
+	Schema = engine.Schema
+	// Database is an instance over a Schema, tracking base and delta
+	// (deleted-tuple) relations.
+	Database = engine.Database
+	// Relation is a set of tuples with deterministic iteration.
+	Relation = engine.Relation
+	// Tuple is one immutable row.
+	Tuple = engine.Tuple
+	// Value is a typed scalar (int, string, or float).
+	Value = engine.Value
+	// Program is a validated delta program.
+	Program = datalog.Program
+	// Rule is a single delta rule.
+	Rule = datalog.Rule
+	// Semantics selects one of the paper's four repair semantics.
+	Semantics = core.Semantics
+	// Result reports a computed repair: the stabilizing set, timings, and
+	// diagnostics.
+	Result = core.Result
+	// Options bundles per-semantics tuning knobs for RepairWith.
+	Options = core.Options
+	// IndependentOptions tunes Algorithm 1 (solver budget, tie-breaking).
+	IndependentOptions = core.IndependentOptions
+)
+
+// The four semantics (§3 of the paper).
+const (
+	End         = core.SemEnd
+	Stage       = core.SemStage
+	Step        = core.SemStep
+	Independent = core.SemIndependent
+)
+
+// AllSemantics lists the four semantics in the paper's order:
+// independent, step, stage, end.
+var AllSemantics = core.AllSemantics
+
+// Value constructors.
+
+// Int builds an integer value.
+func Int(i int) Value { return engine.Int(i) }
+
+// Int64 builds an integer value from an int64.
+func Int64(i int64) Value { return engine.Int64(i) }
+
+// Str builds a string value.
+func Str(s string) Value { return engine.Str(s) }
+
+// Float builds a float value.
+func Float(f float64) Value { return engine.Float(f) }
+
+// NewSchema creates an empty schema; add relations with MustAddRelation or
+// AddRelation.
+func NewSchema() *Schema { return engine.NewSchema() }
+
+// ParseSchema parses a schema declaration, one relation per line:
+//
+//	# comments allowed
+//	Organization(oid, name)
+//	Author:au(aid, name, oid)     # optional ":prefix" names tuple IDs au1, au2, ...
+func ParseSchema(src string) (*Schema, error) {
+	s := NewSchema()
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexAny(line, "#%"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		if open < 0 || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("deltarepair: schema line %d: want Name(attr, ...), got %q", lineNo+1, line)
+		}
+		name, prefix := line[:open], ""
+		if c := strings.IndexByte(name, ':'); c >= 0 {
+			name, prefix = name[:c], name[c+1:]
+		}
+		name = strings.TrimSpace(name)
+		var attrs []string
+		for _, a := range strings.Split(line[open+1:len(line)-1], ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("deltarepair: schema line %d: empty attribute", lineNo+1)
+			}
+			attrs = append(attrs, a)
+		}
+		if _, err := s.AddRelation(name, prefix, attrs...); err != nil {
+			return nil, fmt.Errorf("deltarepair: schema line %d: %w", lineNo+1, err)
+		}
+	}
+	if len(s.Relations) == 0 {
+		return nil, fmt.Errorf("deltarepair: empty schema")
+	}
+	return s, nil
+}
+
+// NewDatabase creates an empty database over the schema.
+func NewDatabase(s *Schema) *Database { return engine.NewDatabase(s) }
+
+// ParseProgram parses and validates a delta program against the schema.
+// See the package documentation and internal/datalog for the concrete
+// syntax.
+func ParseProgram(src string, schema *Schema) (*Program, error) {
+	return datalog.ParseAndValidate(src, schema)
+}
+
+// Repair computes the stabilizing set under the chosen semantics and
+// returns it together with the repaired database (D \ S) ∪ ∆(S). The input
+// database is cloned, never mutated.
+func Repair(db *Database, p *Program, sem Semantics) (*Result, *Database, error) {
+	return core.Run(db, p, sem)
+}
+
+// RepairWith is Repair with explicit options (solver budgets etc.).
+func RepairWith(db *Database, p *Program, sem Semantics, opts Options) (*Result, *Database, error) {
+	return core.RunWith(db, p, sem, opts)
+}
+
+// RepairAll runs all four semantics and returns their results keyed by
+// semantics.
+func RepairAll(db *Database, p *Program) (map[Semantics]*Result, error) {
+	return core.RunAll(db, p)
+}
+
+// IsStable reports whether the database satisfies no rule of the program
+// (Def. 3.12): a stable database needs no repair.
+func IsStable(db *Database, p *Program) (bool, error) {
+	return core.CheckStable(db, p)
+}
+
+// IsStabilizingSet reports whether deleting the tuples with the given
+// content keys stabilizes the database (Def. 3.14).
+func IsStabilizingSet(db *Database, p *Program, keys []string) (bool, error) {
+	return core.IsStabilizing(db, p, keys)
+}
+
+// Explanation types: answers to "why was this tuple deleted", extracted
+// from the provenance of the end-semantics derivation (§5 of the paper).
+type (
+	// Explainer answers deletion-provenance queries for one database and
+	// program.
+	Explainer = core.Explainer
+	// Explanation is a derivation tree for one deleted tuple.
+	Explanation = core.Explanation
+	// ResultExplanation pairs a deleted tuple with its explanation (nil
+	// for underivable tuples, which independent semantics may delete).
+	ResultExplanation = core.ResultExplanation
+)
+
+// NewExplainer captures deletion provenance for the database and program;
+// use Explain/ExplainResult on the returned Explainer. Works for results
+// of any semantics: every operationally-deletable tuple is covered, and
+// underivable tuples (chosen only by independent semantics) are reported
+// as having no derivation.
+func NewExplainer(db *Database, p *Program) (*Explainer, error) {
+	return core.NewExplainer(db, p)
+}
+
+// RepairAllParallel runs all four semantics concurrently (one goroutine
+// per semantics, each on a private clone); results are identical to
+// RepairAll.
+func RepairAllParallel(db *Database, p *Program) (map[Semantics]*Result, error) {
+	return core.RunAllParallel(db, p)
+}
+
+// WriteReport writes a full Markdown repair analysis — database stats,
+// violations, all four semantics' repairs, containments, and sample
+// explanations — to w.
+func WriteReport(w io.Writer, db *Database, p *Program) error {
+	return report.Generate(w, db, p, report.Options{})
+}
+
+// ProvenanceDOT renders the program's deletion-provenance graph over the
+// database as Graphviz DOT (the paper's Figure 5 layout).
+func ProvenanceDOT(db *Database, p *Program) (string, error) {
+	g, err := core.CaptureProvenance(db, p)
+	if err != nil {
+		return "", err
+	}
+	return viz.ProvenanceDOT(g), nil
+}
+
+// Deletion-propagation (source side-effect) types: remove a view tuple at
+// minimum cost while respecting a delta program's cascades (§7 of the
+// paper proposes exactly this combination).
+type (
+	// View is a conjunctive query over base relations.
+	View = sideeffect.View
+	// SideEffectResult reports a view-tuple deletion solution.
+	SideEffectResult = sideeffect.Result
+)
+
+// ParseView parses "V(x, y) :- R(x, z), S(z, y)." into a View.
+func ParseView(src string, schema *Schema) (*View, error) {
+	return sideeffect.ParseView(src, schema)
+}
+
+// DeleteViewTuple finds a minimum base-deletion set that removes the view
+// row with the given values while keeping the database stable w.r.t. the
+// program (nil program = plain deletion propagation). Returns the solution
+// and the repaired database.
+func DeleteViewTuple(db *Database, v *View, target []Value, p *Program) (*SideEffectResult, *Database, error) {
+	return sideeffect.DeleteViewTuple(db, v, target, p, sideeffect.Options{})
+}
+
+// SaveSnapshot / LoadSnapshot persist a database (schema, base and delta
+// relations, tuple identities) to a binary stream, so repair sessions can
+// be resumed.
+func SaveSnapshot(db *Database, w io.Writer) error { return db.Save(w) }
+
+// LoadSnapshot reconstructs a database from SaveSnapshot output.
+func LoadSnapshot(r io.Reader) (*Database, error) { return engine.LoadSnapshot(r) }
+
+// RepairAfterDeletions models the paper's second initialization scenario
+// (§3.6) and causal "interventions" (§7): the database is stable, the user
+// deletes the tuples with the given content keys, and the program repairs
+// the fallout under the chosen semantics. Returns the repair result (which
+// excludes the user's own deletions) and the repaired database.
+func RepairAfterDeletions(db *Database, p *Program, keys []string, sem Semantics) (*Result, *Database, error) {
+	work := db.Clone()
+	for _, k := range keys {
+		if !work.DeleteToDelta(k) {
+			return nil, nil, fmt.Errorf("deltarepair: no live tuple %s to delete", k)
+		}
+	}
+	return core.Run(work, p, sem)
+}

@@ -1,0 +1,127 @@
+package deltarepair_test
+
+import (
+	"fmt"
+
+	deltarepair "repro"
+)
+
+// ExampleRepair demonstrates the minimal end-to-end flow: declare a schema,
+// load tuples, parse a delta program, and compute the minimum repair.
+func ExampleRepair() {
+	schema, _ := deltarepair.ParseSchema(`
+		Grant(gid, name)
+		AuthGrant:ag(aid, gid)
+	`)
+	db := deltarepair.NewDatabase(schema)
+	db.MustInsert("Grant", deltarepair.Int(2), deltarepair.Str("ERC"))
+	db.MustInsert("AuthGrant", deltarepair.Int(4), deltarepair.Int(2))
+
+	prog, _ := deltarepair.ParseProgram(`
+		(0) Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.
+		(1) Delta_AuthGrant(a, g) :- AuthGrant(a, g), Delta_Grant(g, n).
+	`, schema)
+
+	res, _, _ := deltarepair.Repair(db, prog, deltarepair.Independent)
+	fmt.Println(res)
+	// Output:
+	// independent: 2 tuples deleted {g1, ag1}
+}
+
+// ExampleRepairAll contrasts the four semantics on a two-rule program with
+// a shared body — the shape where they genuinely diverge (Prop. 3.19 of
+// the paper).
+func ExampleRepairAll() {
+	schema, _ := deltarepair.ParseSchema(`
+		R(a)
+		S(a)
+	`)
+	db := deltarepair.NewDatabase(schema)
+	db.MustInsert("R", deltarepair.Str("a"))
+	db.MustInsert("S", deltarepair.Str("b"))
+
+	prog, _ := deltarepair.ParseProgram(`
+		Delta_R(x) :- R(x), S(y).
+		Delta_S(y) :- R(x), S(y).
+	`, schema)
+
+	results, _ := deltarepair.RepairAll(db, prog)
+	for _, sem := range deltarepair.AllSemantics {
+		fmt.Printf("%s: %d deleted\n", sem, results[sem].Size())
+	}
+	// Output:
+	// independent: 1 deleted
+	// step: 1 deleted
+	// stage: 2 deleted
+	// end: 2 deleted
+}
+
+// ExampleIsStable shows stability checking before and after a repair.
+func ExampleIsStable() {
+	schema, _ := deltarepair.ParseSchema(`N(v)`)
+	db := deltarepair.NewDatabase(schema)
+	db.MustInsert("N", deltarepair.Int(1))
+	db.MustInsert("N", deltarepair.Int(5))
+
+	prog, _ := deltarepair.ParseProgram(`Delta_N(v) :- N(v), v > 3.`, schema)
+
+	before, _ := deltarepair.IsStable(db, prog)
+	_, repaired, _ := deltarepair.Repair(db, prog, deltarepair.Stage)
+	after, _ := deltarepair.IsStable(repaired, prog)
+	fmt.Println(before, after)
+	// Output:
+	// false true
+}
+
+// ExampleNewExplainer answers "why was this tuple deleted" with a
+// derivation chain back to the initiating deletion.
+func ExampleNewExplainer() {
+	schema, _ := deltarepair.ParseSchema(`
+		Grant(gid, name)
+		AuthGrant:ag(aid, gid)
+	`)
+	db := deltarepair.NewDatabase(schema)
+	db.MustInsert("Grant", deltarepair.Int(2), deltarepair.Str("ERC"))
+	db.MustInsert("AuthGrant", deltarepair.Int(4), deltarepair.Int(2))
+
+	prog, _ := deltarepair.ParseProgram(`
+		(0) Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.
+		(1) Delta_AuthGrant(a, g) :- AuthGrant(a, g), Delta_Grant(g, n).
+	`, schema)
+
+	res, _, _ := deltarepair.Repair(db, prog, deltarepair.End)
+	explainer, _ := deltarepair.NewExplainer(db, prog)
+	for _, entry := range explainer.ExplainResult(res) {
+		fmt.Print(entry.Explanation)
+	}
+	// Output:
+	// Grant(i2,"ERC") deleted (layer 1)
+	// AuthGrant(i4,i2) deleted (layer 2)
+	//   after:
+	//     Grant(i2,"ERC") deleted (layer 1)
+}
+
+// ExampleRepairAfterDeletions models a causal "intervention": the database
+// is consistent, the user deletes a tuple, and the program repairs the
+// fallout.
+func ExampleRepairAfterDeletions() {
+	schema, _ := deltarepair.ParseSchema(`
+		Emp(id, dept)
+		Dept(id)
+	`)
+	db := deltarepair.NewDatabase(schema)
+	db.MustInsert("Dept", deltarepair.Int(1))
+	db.MustInsert("Emp", deltarepair.Int(10), deltarepair.Int(1))
+	db.MustInsert("Emp", deltarepair.Int(11), deltarepair.Int(1))
+
+	// Cascade: employees of a deleted department are deleted.
+	prog, _ := deltarepair.ParseProgram(`
+		Delta_Emp(e, d) :- Emp(e, d), Delta_Dept(d).
+	`, schema)
+
+	deptKey := db.Relation("Dept").Keys()[0]
+	res, _, _ := deltarepair.RepairAfterDeletions(db, prog, []string{deptKey}, deltarepair.Stage)
+	fmt.Printf("cascade deleted %d employees\n", res.Size())
+	// Output:
+	// cascade deleted 2 employees
+}

@@ -1,0 +1,79 @@
+// Denial-constraint repair: the paper's HoloClean comparison scenario
+// (§6, Tables 4-5). A single Author table carries four denial constraints;
+// injected errors violate them; the four deletion semantics always restore
+// consistency while the cell-repair baseline under-repairs as the error
+// rate grows.
+//
+//	go run ./examples/dcrepair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deltarepair "repro"
+	"repro/internal/holoclean"
+	"repro/internal/programs"
+)
+
+func main() {
+	const rows, errors = 2000, 120
+
+	// A clean Author(aid, name, oid, organization) table plus injected
+	// errors: duplicated author keys and misspelled organization names.
+	db := programs.CleanAuthorTable(rows, rows/5, 1)
+	corrupted := programs.InjectErrors(db, errors, 2)
+	fmt.Printf("Author table: %d rows, %d injected errors\n\n", rows, len(corrupted))
+
+	// The four denial constraints as delta rules (inlined equality):
+	//   DC1 same aid -> same oid        DC2 same aid -> same name
+	//   DC3 same aid -> same org name   DC4 same oid -> same org name
+	dcs, err := deltarepair.ParseProgram(programs.DCSource, db.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	perDC, total, err := holoclean.ViolatingTuples(db, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Violating tuples before repair: DC1=%d DC2=%d DC3=%d DC4=%d (total %d)\n\n",
+		perDC[0], perDC[1], perDC[2], perDC[3], total)
+
+	// Deletion-based repair: every semantics fully restores consistency;
+	// they differ in how much they delete.
+	fmt.Println("Deletion repairs (delta-rule semantics):")
+	for _, sem := range deltarepair.AllSemantics {
+		res, repaired, err := deltarepair.Repair(db, dcs, sem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, after, err := holoclean.ViolatingTuples(repaired, dcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s deletes %4d rows, violations after: %d\n",
+			sem.String()+":", res.Size(), after)
+	}
+
+	// Cell-based repair: fixes values instead of deleting rows, but only
+	// where the statistical signal is confident — residual violations stay.
+	rep, repaired, err := holoclean.Repair(db, holoclean.Config{ConfidenceThreshold: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, after, err := holoclean.ViolatingTuples(repaired, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCell repair (HoloClean-style baseline):\n")
+	fmt.Printf("  flagged %d noisy cells, repaired %d cells in %d tuples, violations after: %d\n",
+		rep.NoisyCells, rep.RepairedCells, rep.RepairedTuples, after)
+
+	fmt.Println(`
+The deletion semantics guarantee a consistent result (Prop. 3.18 of the
+paper); independent semantics does it with the provably minimum number of
+deletions. The cell-repair baseline preserves rows and fixes many typos,
+but key-duplication errors carry no statistical signal, so violations
+survive — the paper's Table 4/5 contrast in miniature.`)
+}

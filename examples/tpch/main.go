@@ -1,0 +1,78 @@
+// TPC-H referential cleanup: offboarding suppliers from an order database
+// (the paper's Table 2 workloads). A batch of suppliers is terminated; the
+// part-supplier catalog entries and open line items that reference them
+// must go too — but how much goes depends on the chosen semantics.
+//
+// Data comes from the repository's deterministic TPC-H fragment generator
+// (internal/tpch, the substitute for the paper's 376K-tuple fragment);
+// all repair operations go through the public API.
+//
+//	go run ./examples/tpch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deltarepair "repro"
+	"repro/internal/tpch"
+)
+
+func main() {
+	// A laptop-friendly slice of the paper's TPC-H fragment.
+	ds := tpch.Generate(tpch.Config{Scale: 0.02, Seed: 42})
+	db := ds.DB
+	fmt.Printf("TPC-H fragment: %d tuples (%d suppliers, %d partsupp, %d orders, %d lineitems)\n\n",
+		ds.Total(), ds.NumSuppliers, ds.NumPartSupp, ds.NumOrders, ds.NumLineItems)
+
+	// Program T-1 of the paper: terminate low-key suppliers' catalog
+	// entries; line items referencing a removed catalog entry follow.
+	prog, err := deltarepair.ParseProgram(fmt.Sprintf(`
+		(1) Delta_PartSupp(pk, sk, q) :- PartSupp(pk, sk, q), Supplier(sk, sn, snk), sk < %d.
+		(2) Delta_LineItem(ok, ln, pk, sk, q) :- LineItem(ok, ln, pk, sk, q), Delta_PartSupp(pk2, sk, q2).
+	`, ds.SuppKeyCut), db.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Offboarding suppliers with key < %d:\n", ds.SuppKeyCut)
+	for _, sem := range deltarepair.AllSemantics {
+		res, repaired, err := deltarepair.Repair(db, prog, sem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %5d deletions %v\n", sem.String()+":", res.Size(), res.ByRelation())
+		if ok, _ := deltarepair.IsStable(repaired, prog); !ok {
+			log.Fatalf("%s left the database unstable", sem)
+		}
+	}
+
+	fmt.Println(`
+Note the independent repair: instead of cascading through the catalog it
+deletes the Supplier tuples themselves — rule (1) then has no satisfying
+assignment, and every PartSupp and LineItem row survives. That repair is
+invisible to the operational semantics (Supplier tuples are never derived
+by any rule), which is exactly the paper's Table 3 story for program T-1.`)
+
+	// Program T-5: retiring a nation. Two rules share a body — delete the
+	// nation's suppliers and customers once both exist. Step semantics may
+	// fire one rule first and starve the other; stage fires both at once.
+	prog5, err := deltarepair.ParseProgram(fmt.Sprintf(`
+		(1) Delta_Nation(nk, nn, rk) :- Nation(nk, nn, rk), nk = %d.
+		(2) Delta_Supplier(sk, sn, nk) :- Supplier(sk, sn, nk), Delta_Nation(nk, nn, rk), Customer(ck, cn, nk).
+		(3) Delta_Customer(ck, cn, nk) :- Customer(ck, cn, nk), Delta_Nation(nk, nn, rk), Supplier(sk, sn, nk).
+	`, ds.TargetNation), db.Schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRetiring nation %d (program T-5):\n", ds.TargetNation)
+	for _, sem := range deltarepair.AllSemantics {
+		res, _, err := deltarepair.Repair(db, prog5, sem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %4d deletions %v\n", sem.String()+":", res.Size(), res.ByRelation())
+	}
+	fmt.Println("\nStep deletes the cheaper of the two cascades; stage deletes both —")
+	fmt.Println("the separation the paper reports for T-5 in Table 3.")
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/provenance"
+)
+
+// deriveConfig controls the shared seminaive derivation loop.
+type deriveConfig struct {
+	// shrinkBases selects stage semantics behaviour: after each round the
+	// newly derived heads are removed from their base relations, so later
+	// rounds evaluate against the shrunken database (Def. 3.7). When false
+	// the loop implements end-semantics derivation: bases stay at D⁰ and
+	// only the delta side grows (Def. 3.10).
+	shrinkBases bool
+	// capture, when non-nil, records every assignment found into the
+	// provenance graph with its derivation round as the layer (§5.2).
+	capture *provenance.Graph
+	// maxRounds guards against runaway recursion; 0 means no limit beyond
+	// the natural bound (total tuple count + 1).
+	maxRounds int
+	// naive disables the seminaive frontier optimization: every round
+	// re-evaluates every rule against the full delta contents. Used only
+	// by the evaluation-strategy ablation benchmark; results are identical.
+	naive bool
+}
+
+// derive runs seminaive rounds of the delta program over work (mutated in
+// place: deltas always grow; bases shrink only under shrinkBases). It
+// returns the derived delta tuples in derivation order and the number of
+// rounds until fixpoint.
+//
+// Seminaive justification: under end semantics bases never shrink, so any
+// assignment's validity persists and each assignment is enumerated exactly
+// in the round following its newest delta dependency. Under stage semantics
+// bases only shrink, so an assignment using no frontier delta would have
+// been valid (and fired, deleting its head) one stage earlier — hence every
+// genuinely new assignment uses a frontier delta and the same pass
+// structure is sound.
+func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*engine.Tuple, int, error) {
+	schema := work.Schema
+	old := make(map[string]*engine.Relation, len(schema.Relations))
+	frontier := make(map[string]*engine.Relation, len(schema.Relations))
+	for _, rs := range schema.Relations {
+		old[rs.Name] = engine.NewRelation(rs.Name, rs.Arity())
+		fr := engine.NewRelation(rs.Name, rs.Arity())
+		// Pre-existing deltas (user-initiated deletions) seed the frontier.
+		work.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
+			fr.Insert(t)
+			return true
+		})
+		frontier[rs.Name] = fr
+	}
+
+	maxRounds := cfg.maxRounds
+	if maxRounds <= 0 {
+		maxRounds = work.TotalTuples() + 2
+	}
+
+	var derivedAll []*engine.Tuple
+	derivedSet := make(map[string]bool)
+	rounds := 0
+
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return nil, rounds, fmt.Errorf("core: derivation did not converge after %d rounds", maxRounds)
+		}
+		var newHeads []*engine.Tuple
+		newSet := make(map[string]bool)
+
+		for _, rule := range p.Rules {
+			nDelta := rule.DeltaBodyCount()
+			if nDelta == 0 && round > 1 && !cfg.naive {
+				continue // condition rules fire only against D⁰/stage 1
+			}
+			passes := 1
+			if nDelta > 0 && !cfg.naive {
+				passes = nDelta
+			}
+			for pass := 0; pass < passes; pass++ {
+				var sources []datalog.AtomSource
+				if cfg.naive {
+					sources = buildNaiveSources(work, rule, old, frontier)
+				} else {
+					sources = buildPassSources(work, rule, old, frontier, pass)
+				}
+				err := datalog.EvalRule(rule, sources, func(asn *datalog.Assignment) bool {
+					head := asn.Head()
+					key := head.Key()
+					if cfg.capture != nil {
+						// AddDerivation keeps the first layer for a known head.
+						cfg.capture.AddDerivation(key, round, provenance.ClauseOf(asn))
+					}
+					if !derivedSet[key] && !newSet[key] && work.Delta(rule.Head.Rel).Get(key) == nil {
+						newSet[key] = true
+						newHeads = append(newHeads, head)
+					}
+					return true
+				})
+				if err != nil {
+					return nil, rounds, err
+				}
+			}
+		}
+
+		if len(newHeads) == 0 {
+			rounds = round - 1
+			break
+		}
+		rounds = round
+
+		// Rotate frontier into old, install new heads as the next frontier,
+		// and record the deletions.
+		for _, rs := range schema.Relations {
+			fr := frontier[rs.Name]
+			fr.Scan(func(t *engine.Tuple) bool {
+				old[rs.Name].Insert(t)
+				return true
+			})
+			frontier[rs.Name] = engine.NewRelation(rs.Name, rs.Arity())
+		}
+		for _, head := range newHeads {
+			derivedSet[head.Key()] = true
+			derivedAll = append(derivedAll, head)
+			frontier[head.Rel].Insert(head)
+			if cfg.shrinkBases {
+				// Stage: move base → delta now.
+				work.Relation(head.Rel).Delete(head.Key())
+			}
+			work.Delta(head.Rel).Insert(head)
+		}
+	}
+	return derivedAll, rounds, nil
+}
+
+// buildNaiveSources assembles per-atom sources for naive evaluation: every
+// delta atom reads the full delta contents (old ∪ frontier).
+func buildNaiveSources(work *engine.Database, rule *datalog.Rule,
+	old, frontier map[string]*engine.Relation) []datalog.AtomSource {
+
+	sources := make([]datalog.AtomSource, len(rule.Body))
+	for i, a := range rule.Body {
+		if !a.Delta {
+			sources[i] = datalog.AtomSource{work.Relation(a.Rel)}
+		} else {
+			sources[i] = datalog.AtomSource{old[a.Rel], frontier[a.Rel]}
+		}
+	}
+	return sources
+}
+
+// buildPassSources assembles per-atom sources for one seminaive pass: the
+// pass-th delta atom reads the frontier, earlier delta atoms read old
+// deltas, later ones read old ∪ frontier; base atoms read live base
+// relations.
+func buildPassSources(work *engine.Database, rule *datalog.Rule,
+	old, frontier map[string]*engine.Relation, pass int) []datalog.AtomSource {
+
+	sources := make([]datalog.AtomSource, len(rule.Body))
+	deltaIdx := 0
+	for i, a := range rule.Body {
+		if !a.Delta {
+			sources[i] = datalog.AtomSource{work.Relation(a.Rel)}
+			continue
+		}
+		switch {
+		case deltaIdx < pass:
+			sources[i] = datalog.AtomSource{old[a.Rel]}
+		case deltaIdx == pass:
+			sources[i] = datalog.AtomSource{frontier[a.Rel]}
+		default:
+			sources[i] = datalog.AtomSource{old[a.Rel], frontier[a.Rel]}
+		}
+		deltaIdx++
+	}
+	return sources
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/provenance"
+)
+
+// The paper's introduction motivates the framework with users "left
+// uncertain about why the tuples have been deleted" by trigger systems.
+// This file provides that answer: derivation-tree explanations for deleted
+// tuples, extracted from the provenance graph of the end-semantics run
+// (§5's provenance machinery, repurposed for reporting).
+
+// Explanation is one derivation of a deleted tuple: the rule-shaped clause
+// that justified its deletion, with delta dependencies resolved
+// recursively up to the initiating deletions.
+type Explanation struct {
+	// Tuple is the deleted tuple's content key.
+	Tuple string
+	// Layer is the derivation layer (1 = initiating deletions).
+	Layer int
+	// Because lists the base tuples whose presence enabled the deletion
+	// (excluding the tuple itself).
+	Because []string
+	// After lists the deletions this one depended on (delta body atoms),
+	// each with its own explanation.
+	After []*Explanation
+}
+
+// String renders the explanation as an indented tree.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	e.render(&b, 0)
+	return b.String()
+}
+
+func (e *Explanation) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s deleted (layer %d)", indent, e.Tuple, e.Layer)
+	if len(e.Because) > 0 {
+		fmt.Fprintf(b, " with %s present", strings.Join(e.Because, ", "))
+	}
+	b.WriteByte('\n')
+	for _, dep := range e.After {
+		fmt.Fprintf(b, "%s  after:\n", indent)
+		dep.render(b, depth+2)
+	}
+}
+
+// Explainer answers "why was this tuple deleted" for a database/program
+// pair, using one end-semantics provenance capture. Explanations exist for
+// every tuple deletable under end semantics — a superset of every
+// semantics' result (Prop. 3.20), so results from any executor can be
+// explained.
+type Explainer struct {
+	graph *provenance.Graph
+}
+
+// NewExplainer captures provenance for the database and program. The
+// database is not modified.
+func NewExplainer(db *engine.Database, p *datalog.Program) (*Explainer, error) {
+	_, _, graph, err := runEndCaptured(db, p, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Explainer{graph: graph}, nil
+}
+
+// Explainable reports whether the tuple with the given content key has at
+// least one derivation.
+func (ex *Explainer) Explainable(key string) bool {
+	return len(ex.graph.Assignments[key]) > 0
+}
+
+// Explain returns the first (earliest-layer) derivation of the tuple, with
+// delta dependencies expanded recursively; nil if the tuple is not
+// derivable. Shared dependencies are expanded once per path; cycles cannot
+// occur because dependencies strictly decrease in layer.
+func (ex *Explainer) Explain(key string) *Explanation {
+	return ex.explain(key, make(map[string]bool))
+}
+
+func (ex *Explainer) explain(key string, onPath map[string]bool) *Explanation {
+	clauses := ex.graph.Assignments[key]
+	if len(clauses) == 0 || onPath[key] {
+		return nil
+	}
+	onPath[key] = true
+	defer delete(onPath, key)
+
+	// Choose the clause whose delta dependencies sit in the earliest
+	// layers (the most "direct" derivation), deterministically.
+	best := -1
+	bestScore := 1 << 30
+	for i, c := range clauses {
+		score := 0
+		ok := true
+		for _, dep := range c.Neg {
+			l, known := ex.graph.Layer[dep]
+			if !known || onPath[dep] {
+				ok = false
+				break
+			}
+			score += l
+		}
+		if ok && score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	c := clauses[best]
+	e := &Explanation{Tuple: key, Layer: ex.graph.Layer[key]}
+	for _, pos := range c.Pos {
+		if pos != key {
+			e.Because = append(e.Because, pos)
+		}
+	}
+	sort.Strings(e.Because)
+	deps := append([]string(nil), c.Neg...)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		if sub := ex.explain(dep, onPath); sub != nil {
+			e.After = append(e.After, sub)
+		}
+	}
+	return e
+}
+
+// ExplainResult explains every tuple of a result, in the result's order.
+// Tuples without derivations (possible for independent semantics, which
+// may delete underivable tuples) yield entries with a nil Explanation.
+type ResultExplanation struct {
+	Tuple       *engine.Tuple
+	Explanation *Explanation // nil when the deletion has no derivation
+}
+
+// ExplainResult builds explanations for all tuples in the result.
+func (ex *Explainer) ExplainResult(res *Result) []ResultExplanation {
+	out := make([]ResultExplanation, 0, res.Size())
+	for _, t := range res.Deleted {
+		out = append(out, ResultExplanation{Tuple: t, Explanation: ex.Explain(t.Key())})
+	}
+	return out
+}

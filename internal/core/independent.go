@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/sat"
+)
+
+// IndependentOptions configures Algorithm 1.
+type IndependentOptions struct {
+	// MaxNodes is the Min-Ones-SAT node budget (0 = solver default). When
+	// the budget is exhausted the best satisfying assignment found is used:
+	// it still yields a stabilizing set, just without a minimality proof —
+	// mirroring the paper's remark that any satisfying assignment
+	// stabilizes the database.
+	MaxNodes int64
+	// MaxClauses caps the provenance formula size; 0 means
+	// DefaultMaxClauses. Exceeding the cap is an error (the positivized
+	// join blew up; rescale the workload).
+	MaxClauses int
+	// DisablePreferDerivable turns off the tie-breaking preference for
+	// end-derivable tuples. With the preference on (default), when several
+	// minimum repairs exist the solver steers toward tuples that other
+	// semantics can also delete, maximizing Ind ⊆ Step/Stage containment
+	// (the configuration the paper's tables reflect).
+	DisablePreferDerivable bool
+	// Weight, when non-nil, turns the objective from minimum cardinality
+	// into minimum total weight: deleting tuple t costs Weight(t) (values
+	// < 1 count as 1). This generalizes the paper's minimum-cardinality
+	// metric to tuples of unequal importance — e.g. penalize deleting
+	// master-data rows over link rows.
+	Weight func(*engine.Tuple) int64
+}
+
+// DefaultMaxClauses bounds the provenance formula of Algorithm 1.
+const DefaultMaxClauses = 5_000_000
+
+// RunIndependent computes Ind(P, D) with Algorithm 1: store the DNF
+// provenance of every *possible* delta tuple (delta body atoms range over
+// all base tuples, not just derivable ones), negate into CNF over "tuple
+// deleted" variables, and find a satisfying assignment setting the minimum
+// number of variables true. The deleted-variable set is the repair.
+//
+// The returned database is the repaired instance; Result.Optimal reports
+// whether the solver proved minimality.
+func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOptions) (*Result, *engine.Database, error) {
+	maxClauses := opts.MaxClauses
+	if maxClauses <= 0 {
+		maxClauses = DefaultMaxClauses
+	}
+
+	// Phase 1 (Eval): provenance of all possible delta tuples (line 1 of
+	// Algorithm 1) — one positivized evaluation pass per rule. Delta atoms
+	// range over every *possible* deletion: all live base tuples plus any
+	// tuples already deleted before this run (the §3.6 "user deletes a
+	// specific set of tuples" initialization); the latter are forced
+	// deleted in the CNF below.
+	evalStart := time.Now()
+	sourcesFor := func(r *datalog.Rule) []datalog.AtomSource {
+		out := make([]datalog.AtomSource, len(r.Body))
+		for i, a := range r.Body {
+			if a.Delta {
+				out[i] = datalog.AtomSource{db.Relation(a.Rel), db.Delta(a.Rel)}
+			} else {
+				out[i] = datalog.AtomSource{db.Relation(a.Rel)}
+			}
+		}
+		return out
+	}
+	formula := provenance.NewFormula()
+	for _, r := range p.Rules {
+		var evalErr error
+		err := datalog.EvalRule(r, sourcesFor(r), func(asn *datalog.Assignment) bool {
+			formula.Add(asn.Head().Key(), provenance.ClauseOf(asn))
+			if formula.Len() > maxClauses {
+				evalErr = fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if evalErr != nil {
+			return nil, nil, evalErr
+		}
+	}
+	evalDur := time.Since(evalStart)
+
+	// Phase 2 (ProcessProv): negate into CNF over deletion variables
+	// (lines 2–4): clause (t₁ ∧ … ∧ ¬d₁ ∧ …) negates to
+	// (x_t₁ ∨ … ∨ ¬x_d₁ ∨ …) where x_t means "t is deleted".
+	ppStart := time.Now()
+	keys := formula.TupleKeys()
+	varOf := make(map[string]int, len(keys))
+	for i, k := range keys {
+		varOf[k] = i + 1
+	}
+	cnf := sat.NewFormula(len(keys))
+	for _, c := range formula.Clauses {
+		lits := make([]int, 0, len(c.Pos)+len(c.Neg))
+		for _, k := range c.Pos {
+			lits = append(lits, varOf[k])
+		}
+		for _, k := range c.Neg {
+			lits = append(lits, -varOf[k])
+		}
+		if err := cnf.AddClause(lits...); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Pre-existing deletions are facts, not choices: force their
+	// variables true so the stability clauses respect them.
+	preDeleted := make(map[string]bool)
+	for _, rs := range db.Schema.Relations {
+		db.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
+			preDeleted[t.Key()] = true
+			if v, ok := varOf[t.Key()]; ok {
+				if err := cnf.AddClause(v); err != nil {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Tie preference: try end-derivable tuples first (deepest layer first),
+	// steering equal-cost optima toward sets other semantics contain.
+	var prefer []int
+	if !opts.DisablePreferDerivable {
+		if _, _, graph, err := runEndCaptured(db, p, true); err == nil {
+			heads := append([]string(nil), graph.Heads...)
+			idx := make(map[string]int, len(heads))
+			for i, h := range heads {
+				idx[h] = i
+			}
+			sort.SliceStable(heads, func(i, j int) bool {
+				li, lj := graph.Layer[heads[i]], graph.Layer[heads[j]]
+				if li != lj {
+					return li > lj
+				}
+				return idx[heads[i]] < idx[heads[j]]
+			})
+			for _, h := range heads {
+				if v, ok := varOf[h]; ok {
+					prefer = append(prefer, v)
+				}
+			}
+		}
+	}
+	ppDur := time.Since(ppStart)
+
+	// Optional weighted objective: minimum total weight instead of
+	// minimum cardinality.
+	var weights []int64
+	if opts.Weight != nil {
+		weights = make([]int64, len(keys)+1)
+		for i, k := range keys {
+			t := db.Lookup(k)
+			w := int64(1)
+			if t != nil {
+				if tw := opts.Weight(t); tw > 1 {
+					w = tw
+				}
+			}
+			weights[i+1] = w
+		}
+	}
+
+	// Phase 3 (Solve): Min-Ones-SAT (line 5).
+	solveStart := time.Now()
+	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes, Prefer: prefer, Weights: weights})
+	solveDur := time.Since(solveStart)
+	if !solved.Satisfiable {
+		// Cannot happen: every clause has a positive literal (the self
+		// atom), so the all-true assignment satisfies the CNF.
+		return nil, nil, fmt.Errorf("core: provenance CNF unexpectedly unsatisfiable")
+	}
+
+	// Output (line 6): tuples whose deletion variable is true.
+	updStart := time.Now()
+	work := db.Clone()
+	var deleted []*engine.Tuple
+	for i, k := range keys {
+		if solved.Assignment[i+1] && !preDeleted[k] {
+			t := work.Lookup(k)
+			if t == nil {
+				return nil, nil, fmt.Errorf("core: solver selected unknown tuple %s", k)
+			}
+			deleted = append(deleted, t)
+			work.DeleteToDelta(k)
+		}
+	}
+	// Safety net: the satisfying assignment must stabilize (correctness of
+	// Algorithm 1); verify and fail loudly rather than return a bad repair.
+	stable, err := CheckStable(work, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !stable {
+		return nil, nil, fmt.Errorf("core: independent repair failed to stabilize (internal error)")
+	}
+	updDur := time.Since(updStart)
+
+	res := newResult(SemIndependent, deleted)
+	res.Optimal = solved.Optimal
+	res.SolverNodes = solved.Nodes
+	res.FormulaClauses = formula.Len()
+	res.RepairCost = solved.WeightedCost
+	res.Timing = Breakdown{Eval: evalDur, ProcessProv: ppDur, Solve: solveDur, Update: updDur}
+	return res, work, nil
+}

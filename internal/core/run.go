@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// Options bundles per-semantics knobs for the Run dispatcher.
+type Options struct {
+	// Independent configures Algorithm 1 when sem == SemIndependent.
+	Independent IndependentOptions
+}
+
+// Run executes the chosen semantics with default options and returns the
+// stabilizing set and the repaired database. The input database is cloned,
+// never mutated.
+func Run(db *engine.Database, p *datalog.Program, sem Semantics) (*Result, *engine.Database, error) {
+	return RunWith(db, p, sem, Options{})
+}
+
+// RunWith is Run with explicit options.
+func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Options) (*Result, *engine.Database, error) {
+	switch sem {
+	case SemEnd:
+		return RunEnd(db, p)
+	case SemStage:
+		return RunStage(db, p)
+	case SemStep:
+		return RunStepGreedy(db, p)
+	case SemIndependent:
+		return RunIndependent(db, p, opts.Independent)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown semantics %v", sem)
+	}
+}
+
+// RunAll executes all four semantics and returns results keyed by
+// semantics, in AllSemantics order.
+func RunAll(db *engine.Database, p *datalog.Program) (map[Semantics]*Result, error) {
+	out := make(map[Semantics]*Result, len(AllSemantics))
+	for _, sem := range AllSemantics {
+		res, _, err := Run(db, p, sem)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sem, err)
+		}
+		out[sem] = res
+	}
+	return out, nil
+}
+
+// RunAllParallel is RunAll with one goroutine per semantics. Every
+// executor clones the input database and the executors share no mutable
+// state, so results are identical to the sequential RunAll; wall-clock
+// time approaches the slowest single semantics (usually independent).
+//
+// Caveat: each executor builds its own indexes on its clone, so total CPU
+// work is slightly higher than sequential; prefer RunAllParallel when
+// latency matters and RunAll when throughput does.
+func RunAllParallel(db *engine.Database, p *datalog.Program) (map[Semantics]*Result, error) {
+	// Give each goroutine a private clone up front: lazy index builds on a
+	// shared instance would race.
+	clones := make([]*engine.Database, len(AllSemantics))
+	for i := range AllSemantics {
+		clones[i] = db.Clone()
+	}
+	results := make([]*Result, len(AllSemantics))
+	errs := make([]error, len(AllSemantics))
+	var wg sync.WaitGroup
+	for i, sem := range AllSemantics {
+		wg.Add(1)
+		go func(i int, sem Semantics) {
+			defer wg.Done()
+			results[i], _, errs[i] = Run(clones[i], p, sem)
+		}(i, sem)
+	}
+	wg.Wait()
+	out := make(map[Semantics]*Result, len(AllSemantics))
+	for i, sem := range AllSemantics {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s: %w", sem, errs[i])
+		}
+		out[sem] = results[i]
+	}
+	return out, nil
+}
+
+// Containment summarizes the relationships the paper reports in Table 3
+// for a set of results: whether step equals stage, and whether the
+// independent result is contained in stage and in step.
+type Containment struct {
+	StepEqStage bool
+	IndInStage  bool
+	IndInStep   bool
+	// Always-true relationships (Prop. 3.20), reported for verification:
+	StageInEnd bool
+	StepInEnd  bool
+	IndLeStep  bool // |Ind| ≤ |Step|
+	IndLeStage bool // |Ind| ≤ |Stage|
+}
+
+// CheckContainment computes the Table 3 flags from a RunAll result map.
+func CheckContainment(rs map[Semantics]*Result) Containment {
+	ind, step, stage, end := rs[SemIndependent], rs[SemStep], rs[SemStage], rs[SemEnd]
+	return Containment{
+		StepEqStage: step.SameSet(stage),
+		IndInStage:  ind.SubsetOf(stage),
+		IndInStep:   ind.SubsetOf(step),
+		StageInEnd:  stage.SubsetOf(end),
+		StepInEnd:   step.SubsetOf(end),
+		IndLeStep:   ind.Size() <= step.Size(),
+		IndLeStage:  ind.Size() <= stage.Size(),
+	}
+}

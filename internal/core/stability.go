@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// CheckStable reports whether db is a stable database w.r.t. the program
+// (Def. 3.12): no rule has a satisfying assignment over the current state
+// (live bases joined with recorded deltas).
+func CheckStable(db *engine.Database, p *datalog.Program) (bool, error) {
+	for _, r := range p.Rules {
+		ok, err := datalog.HasAssignment(db, r)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FirstViolation returns one satisfying assignment witnessing instability,
+// or nil when db is stable. Useful in error messages and tests.
+func FirstViolation(db *engine.Database, p *datalog.Program) (*datalog.Assignment, error) {
+	for _, r := range p.Rules {
+		var witness *datalog.Assignment
+		err := datalog.EvalRuleOnDB(db, r, func(a *datalog.Assignment) bool {
+			witness = a
+			return false
+		})
+		if err != nil {
+			return nil, err
+		}
+		if witness != nil {
+			return witness, nil
+		}
+	}
+	return nil, nil
+}
+
+// IsStabilizing reports whether deleting the tuples with the given content
+// keys from db (and adding their delta counterparts) yields a stable
+// database (Def. 3.14). The input database is not modified.
+func IsStabilizing(db *engine.Database, p *datalog.Program, keys []string) (bool, error) {
+	work := db.Clone()
+	for _, k := range keys {
+		work.DeleteToDelta(k)
+	}
+	return CheckStable(work, p)
+}
+
+// Apply deletes the result's stabilizing set from a clone of db and returns
+// the repaired database; it verifies stability and errors if the set does
+// not stabilize (which would indicate an executor bug).
+func Apply(db *engine.Database, p *datalog.Program, res *Result) (*engine.Database, error) {
+	work := db.Clone()
+	for _, t := range res.Deleted {
+		work.DeleteToDelta(t.Key())
+	}
+	stable, err := CheckStable(work, p)
+	if err != nil {
+		return nil, err
+	}
+	if !stable {
+		w, _ := FirstViolation(work, p)
+		return nil, fmt.Errorf("core: %s result of size %d does not stabilize the database (witness: %v)",
+			res.Semantics, res.Size(), w)
+	}
+	return work, nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// RunStepGreedy computes a step-semantics stabilizing set with Algorithm 2:
+// build the provenance graph of the end-semantics run, compute each tuple's
+// benefit (assignments it participates in minus assignments its delta
+// participates in), then traverse the graph layer by layer greedily adding
+// the highest-benefit tuple and pruning delta tuples that can no longer be
+// derived.
+//
+// Finding Step(P, D) — the minimum over all step executions — is NP-hard
+// (Prop. 4.2); the greedy output is a stabilizing set realizable by a step
+// execution, matching the paper's heuristic. The returned database is the
+// repaired instance.
+func RunStepGreedy(db *engine.Database, p *datalog.Program) (*Result, *engine.Database, error) {
+	return RunStepGreedyWithOptions(db, p, StepGreedyOptions{})
+}
+
+// StepGreedyOptions configures Algorithm 2.
+type StepGreedyOptions struct {
+	// IgnoreBenefits disables the benefit-ordered selection: tuples are
+	// picked in derivation order within each layer instead. Exists for the
+	// benefit-heuristic ablation; the output is still a valid stabilizing
+	// set, typically larger.
+	IgnoreBenefits bool
+}
+
+// RunStepGreedyWithOptions is RunStepGreedy with explicit options.
+func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts StepGreedyOptions) (*Result, *engine.Database, error) {
+	// Phase 1 (Eval): end run with provenance capture.
+	endRes, _, graph, err := runEndCaptured(db, p, true)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2 (ProcessProv): flatten the graph into indexed clauses and
+	// compute benefits.
+	ppStart := time.Now()
+	type flatClause struct {
+		head     string
+		pos, neg []string
+	}
+	var clauses []flatClause
+	headAlive := make(map[string]int, len(graph.Heads))
+	posIdx := make(map[string][]int) // tuple key -> clause ids where key ∈ Pos, key ≠ head
+	negIdx := make(map[string][]int) // tuple key -> clause ids where key ∈ Neg
+	for _, h := range graph.Heads {
+		for _, c := range graph.Assignments[h] {
+			ci := len(clauses)
+			clauses = append(clauses, flatClause{head: h, pos: c.Pos, neg: c.Neg})
+			headAlive[h]++
+			for _, k := range c.Pos {
+				if k != h {
+					posIdx[k] = append(posIdx[k], ci)
+				}
+			}
+			for _, k := range c.Neg {
+				negIdx[k] = append(negIdx[k], ci)
+			}
+		}
+	}
+	benefits := graph.Benefits()
+
+	// Pre-sort each layer's heads by (benefit desc, derivation order asc).
+	layerOrder := make([][]string, graph.NumLayers+1)
+	derivIdx := make(map[string]int, len(graph.Heads))
+	for i, h := range graph.Heads {
+		derivIdx[h] = i
+		l := graph.Layer[h]
+		layerOrder[l] = append(layerOrder[l], h)
+	}
+	if !opts.IgnoreBenefits {
+		for _, heads := range layerOrder {
+			sort.SliceStable(heads, func(i, j int) bool {
+				bi, bj := benefits[heads[i]], benefits[heads[j]]
+				if bi != bj {
+					return bi > bj
+				}
+				return derivIdx[heads[i]] < derivIdx[heads[j]]
+			})
+		}
+	}
+	ppDur := time.Since(ppStart)
+
+	// Phase 3 (Traverse): greedy selection with cascading pruning.
+	trStart := time.Now()
+	inS := make(map[string]bool)
+	removed := make(map[string]bool)
+	void := make([]bool, len(clauses))
+	var order []string
+
+	var voidClause func(ci int)
+	var removeHead func(h string)
+	voidClause = func(ci int) {
+		if void[ci] {
+			return
+		}
+		void[ci] = true
+		h := clauses[ci].head
+		headAlive[h]--
+		if headAlive[h] == 0 && !inS[h] && !removed[h] {
+			removeHead(h)
+		}
+	}
+	removeHead = func(h string) {
+		removed[h] = true
+		// Clauses requiring ∆(h) as a delta dependency are now void
+		// (h was neither deleted nor remains derivable).
+		for _, ci := range negIdx[h] {
+			voidClause(ci)
+		}
+	}
+	addToS := func(t string) {
+		inS[t] = true
+		order = append(order, t)
+		// Deleting t voids every assignment using t positively (other than
+		// deriving ∆(t) itself).
+		for _, ci := range posIdx[t] {
+			voidClause(ci)
+		}
+	}
+
+	for layer := 1; layer <= graph.NumLayers; layer++ {
+		for _, h := range layerOrder[layer] {
+			if inS[h] || removed[h] {
+				continue
+			}
+			addToS(h)
+		}
+	}
+	trDur := time.Since(trStart)
+
+	// Materialize the result and the repaired database.
+	updStart := time.Now()
+	work := db.Clone()
+	deleted := make([]*engine.Tuple, 0, len(order))
+	for _, k := range order {
+		t := work.Lookup(k)
+		if t == nil {
+			return nil, nil, fmt.Errorf("core: step semantics selected unknown tuple %s", k)
+		}
+		deleted = append(deleted, t)
+		work.DeleteToDelta(k)
+	}
+	updDur := time.Since(updStart)
+
+	res := newResult(SemStep, deleted)
+	res.Rounds = graph.NumLayers
+	res.GraphAssignments = len(clauses)
+	res.Timing = Breakdown{
+		Eval:        endRes.Timing.Eval,
+		ProcessProv: ppDur,
+		Traverse:    trDur,
+		Update:      updDur,
+	}
+	return res, work, nil
+}
+
+// StepExhaustiveOptions bounds the exhaustive search.
+type StepExhaustiveOptions struct {
+	// MaxStates caps the number of distinct deletion states explored;
+	// 0 means DefaultMaxStepStates. Exceeding the cap returns an error.
+	MaxStates int
+}
+
+// DefaultMaxStepStates is the exhaustive search's default state budget.
+const DefaultMaxStepStates = 250_000
+
+// RunStepExhaustive computes the true Step(P, D): the minimum-size deletion
+// set over all step executions (Def. 3.5), by breadth-first search over
+// deletion states. Exponential — only usable on small databases; it exists
+// to validate the greedy Algorithm 2 and for the paper's small examples.
+func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaustiveOptions) (*Result, *engine.Database, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStepStates
+	}
+
+	type state struct {
+		keys []string // sorted deletion set
+	}
+	stateKey := func(keys []string) string { return strings.Join(keys, "|") }
+
+	start := time.Now()
+	visited := map[string]bool{"": true}
+	frontier := []state{{}}
+
+	for len(frontier) > 0 {
+		var next []state
+		for _, st := range frontier {
+			// Rebuild the database at this state.
+			work := db.Clone()
+			for _, k := range st.keys {
+				work.DeleteToDelta(k)
+			}
+			// Enumerate all current assignments; collect candidate heads.
+			headSet := make(map[string]bool)
+			var heads []string
+			for _, r := range p.Rules {
+				err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
+					k := a.Head().Key()
+					if !headSet[k] {
+						headSet[k] = true
+						heads = append(heads, k)
+					}
+					return true
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if len(heads) == 0 {
+				// Stable: BFS guarantees minimal |S| among step executions.
+				deleted := make([]*engine.Tuple, 0, len(st.keys))
+				for _, k := range st.keys {
+					deleted = append(deleted, work.Lookup(k))
+				}
+				res := newResult(SemStep, deleted)
+				res.Optimal = true
+				res.Rounds = len(st.keys)
+				res.Timing = Breakdown{Eval: time.Since(start)}
+				return res, work, nil
+			}
+			for _, h := range heads {
+				keys := make([]string, 0, len(st.keys)+1)
+				keys = append(keys, st.keys...)
+				keys = append(keys, h)
+				sort.Strings(keys)
+				sk := stateKey(keys)
+				if visited[sk] {
+					continue
+				}
+				if len(visited) >= maxStates {
+					return nil, nil, fmt.Errorf("core: exhaustive step search exceeded %d states", maxStates)
+				}
+				visited[sk] = true
+				next = append(next, state{keys: keys})
+			}
+		}
+		frontier = next
+	}
+	return nil, nil, fmt.Errorf("core: exhaustive step search exhausted without finding a stable state")
+}
+
+// RunStepRandom simulates one nondeterministic step execution (Def. 3.5):
+// repeatedly pick a uniformly random satisfying assignment, delete its head,
+// update the database, and continue until stable. Models what an arbitrary
+// trigger-firing order can produce; the result is a stabilizing set but not
+// necessarily a small one.
+func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result, *engine.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	work := db.Clone()
+	start := time.Now()
+	var deleted []*engine.Tuple
+	for steps := 0; ; steps++ {
+		if steps > db.TotalTuples()+1 {
+			return nil, nil, fmt.Errorf("core: random step execution did not terminate")
+		}
+		var heads []string
+		headSet := make(map[string]bool)
+		for _, r := range p.Rules {
+			err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
+				k := a.Head().Key()
+				if !headSet[k] {
+					headSet[k] = true
+					heads = append(heads, k)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(heads) == 0 {
+			break
+		}
+		k := heads[rng.Intn(len(heads))]
+		deleted = append(deleted, work.Lookup(k))
+		work.DeleteToDelta(k)
+	}
+	res := newResult(SemStep, deleted)
+	res.Rounds = len(deleted)
+	res.Timing = Breakdown{Eval: time.Since(start)}
+	return res, work, nil
+}

@@ -1,0 +1,388 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Assignment is a satisfying assignment α : body(r) → D (§2): one tuple per
+// body atom, respecting relation names, repeated variables, constants, and
+// the rule's comparisons. Tuples bound to delta atoms are the deleted base
+// tuples themselves (delta relations share tuple pointers with base).
+type Assignment struct {
+	Rule   *Rule
+	Tuples []*engine.Tuple
+}
+
+// Head returns α(head(r)): the tuple the rule derives a delta for. By
+// Def. 3.1 the head's term vector equals the self atom R_i(X), so the head
+// tuple is the tuple bound at SelfIdx.
+func (a *Assignment) Head() *engine.Tuple {
+	return a.Tuples[a.Rule.SelfIdx]
+}
+
+// String renders the assignment as "rule-label: [t1, t2, ...]".
+func (a *Assignment) String() string {
+	s := "["
+	for i, t := range a.Tuples {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return ruleName(a.Rule) + " " + s + "]"
+}
+
+// AtomSource lists the relations an atom ranges over during evaluation.
+// Multiple relations act as a disjoint union (used by seminaive passes where
+// a delta atom reads old ∪ frontier).
+type AtomSource []*engine.Relation
+
+func (s AtomSource) totalLen() int {
+	n := 0
+	for _, r := range s {
+		if r != nil {
+			n += r.Len()
+		}
+	}
+	return n
+}
+
+// DeltaMode selects what delta atoms range over when building sources.
+type DeltaMode int
+
+const (
+	// DeltaFromDelta: delta atoms read ∆_i content (operational semantics).
+	DeltaFromDelta DeltaMode = iota
+	// DeltaFromBase: delta atoms read R_i base content — every base tuple
+	// is a *possible* deletion. Used by Algorithm 1 to build the provenance
+	// of all possible delta tuples (§5.1).
+	DeltaFromBase
+)
+
+// SourcesFor builds the per-atom sources for evaluating rule against db.
+func SourcesFor(db *engine.Database, rule *Rule, mode DeltaMode) []AtomSource {
+	out := make([]AtomSource, len(rule.Body))
+	for i, a := range rule.Body {
+		switch {
+		case !a.Delta:
+			out[i] = AtomSource{db.Relation(a.Rel)}
+		case mode == DeltaFromBase:
+			out[i] = AtomSource{db.Relation(a.Rel)}
+		default:
+			out[i] = AtomSource{db.Delta(a.Rel)}
+		}
+	}
+	return out
+}
+
+// EvalRule enumerates every assignment of rule over the given per-atom
+// sources, invoking emit for each; emit returning false stops enumeration
+// early. The rule must have been validated (SelfIdx resolved). Enumeration
+// order is deterministic.
+func EvalRule(rule *Rule, sources []AtomSource, emit func(*Assignment) bool) error {
+	if rule.SelfIdx < 0 {
+		return fmt.Errorf("datalog: rule %s not validated", ruleName(rule))
+	}
+	if len(sources) != len(rule.Body) {
+		return fmt.Errorf("datalog: rule %s: %d sources for %d body atoms", ruleName(rule), len(sources), len(rule.Body))
+	}
+	cr := rule.compile()
+	ev := &evaluator{
+		rule:     rule,
+		cr:       cr,
+		sources:  sources,
+		bindings: make([]engine.Value, cr.nvars),
+		bound:    make([]bool, cr.nvars),
+		tuples:   make([]*engine.Tuple, len(rule.Body)),
+		emit:     emit,
+	}
+	ev.planOrder()
+	// Constant-only comparisons gate the whole rule.
+	for _, c := range cr.comps {
+		if c.left.varID < 0 && c.right.varID < 0 {
+			if !c.op.Eval(c.left.constVal, c.right.constVal) {
+				return nil
+			}
+		}
+	}
+	ev.run(0)
+	return nil
+}
+
+// EvalRuleOnDB enumerates assignments with the standard operational sources
+// (base atoms from R, delta atoms from ∆).
+func EvalRuleOnDB(db *engine.Database, rule *Rule, emit func(*Assignment) bool) error {
+	return EvalRule(rule, SourcesFor(db, rule, DeltaFromDelta), emit)
+}
+
+// HasAssignment reports whether the rule has at least one assignment over
+// the database's current state.
+func HasAssignment(db *engine.Database, rule *Rule) (bool, error) {
+	found := false
+	err := EvalRuleOnDB(db, rule, func(*Assignment) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// ---------- rule compilation ----------
+
+// cTerm is a compiled term: a variable index or an inline constant.
+type cTerm struct {
+	varID    int // -1 for constants
+	constVal engine.Value
+}
+
+type compiledAtom struct {
+	terms []cTerm
+}
+
+type compiledComp struct {
+	left, right cTerm
+	op          CompOp
+}
+
+type compiledRule struct {
+	nvars int
+	atoms []compiledAtom
+	comps []compiledComp
+}
+
+// compile numbers the rule's variables and inlines constants; the result
+// is cached on the rule under a sync.Once so concurrent evaluations (e.g.
+// core.RunAllParallel) share one plan safely.
+func (r *Rule) compile() *compiledRule {
+	r.compileOnce.Do(r.doCompile)
+	return r.compiled
+}
+
+func (r *Rule) doCompile() {
+	ids := make(map[string]int)
+	intern := func(t Term) cTerm {
+		if !t.IsVar() {
+			return cTerm{varID: -1, constVal: t.Const}
+		}
+		id, ok := ids[t.Var]
+		if !ok {
+			id = len(ids)
+			ids[t.Var] = id
+		}
+		return cTerm{varID: id}
+	}
+	cr := &compiledRule{}
+	cr.atoms = make([]compiledAtom, len(r.Body))
+	for i, a := range r.Body {
+		ts := make([]cTerm, len(a.Terms))
+		for j, t := range a.Terms {
+			ts[j] = intern(t)
+		}
+		cr.atoms[i] = compiledAtom{terms: ts}
+	}
+	cr.comps = make([]compiledComp, len(r.Comps))
+	for i, c := range r.Comps {
+		cr.comps[i] = compiledComp{left: intern(c.Left), right: intern(c.Right), op: c.Op}
+	}
+	cr.nvars = len(ids)
+	r.compiled = cr
+}
+
+// ---------- evaluation ----------
+
+type evaluator struct {
+	rule    *Rule
+	cr      *compiledRule
+	sources []AtomSource
+
+	order    []int   // body atom indexes in join order
+	compAt   [][]int // comparisons runnable after each depth
+	bindings []engine.Value
+	bound    []bool
+	tuples   []*engine.Tuple // per body atom (original indexing)
+	fresh    [][]int         // per-depth scratch for binding undo
+	emit     func(*Assignment) bool
+	stopped  bool
+}
+
+// planOrder picks a greedy join order: repeatedly select the atom with the
+// most bound terms (constants + already-bound variables), breaking ties by
+// smaller source cardinality, then by original position. Comparisons are
+// scheduled at the first depth where both sides are bound.
+func (ev *evaluator) planOrder() {
+	n := len(ev.cr.atoms)
+	used := make([]bool, n)
+	varBound := make([]bool, ev.cr.nvars)
+	ev.order = make([]int, 0, n)
+
+	for len(ev.order) < n {
+		best, bestScore, bestSize := -1, -1, 0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			score := 0
+			for _, t := range ev.cr.atoms[i].terms {
+				if t.varID < 0 || varBound[t.varID] {
+					score++
+				}
+			}
+			size := ev.sources[i].totalLen()
+			if best == -1 || score > bestScore || (score == bestScore && size < bestSize) {
+				best, bestScore, bestSize = i, score, size
+			}
+		}
+		used[best] = true
+		ev.order = append(ev.order, best)
+		for _, t := range ev.cr.atoms[best].terms {
+			if t.varID >= 0 {
+				varBound[t.varID] = true
+			}
+		}
+	}
+
+	// Schedule comparisons.
+	ev.compAt = make([][]int, n)
+	varDepth := make([]int, ev.cr.nvars)
+	for i := range varDepth {
+		varDepth[i] = -1
+	}
+	for d, ai := range ev.order {
+		for _, t := range ev.cr.atoms[ai].terms {
+			if t.varID >= 0 && varDepth[t.varID] < 0 {
+				varDepth[t.varID] = d
+			}
+		}
+	}
+	for ci, c := range ev.cr.comps {
+		d := -1
+		for _, t := range []cTerm{c.left, c.right} {
+			if t.varID >= 0 {
+				if varDepth[t.varID] < 0 {
+					d = -2 // unreachable: validation guarantees boundness
+					break
+				}
+				if varDepth[t.varID] > d {
+					d = varDepth[t.varID]
+				}
+			}
+		}
+		if d >= 0 {
+			ev.compAt[d] = append(ev.compAt[d], ci)
+		}
+	}
+
+	// Per-depth undo scratch, sized to each atom's arity.
+	ev.fresh = make([][]int, n)
+	for d, ai := range ev.order {
+		ev.fresh[d] = make([]int, 0, len(ev.cr.atoms[ai].terms))
+	}
+}
+
+func (ev *evaluator) termValue(t cTerm) (engine.Value, bool) {
+	if t.varID < 0 {
+		return t.constVal, true
+	}
+	if ev.bound[t.varID] {
+		return ev.bindings[t.varID], true
+	}
+	return engine.Value{}, false
+}
+
+// run enumerates candidates for the atom at the given join depth.
+func (ev *evaluator) run(depth int) {
+	if ev.stopped {
+		return
+	}
+	if depth == len(ev.order) {
+		asn := &Assignment{Rule: ev.rule, Tuples: append([]*engine.Tuple(nil), ev.tuples...)}
+		if !ev.emit(asn) {
+			ev.stopped = true
+		}
+		return
+	}
+	ai := ev.order[depth]
+	atom := ev.cr.atoms[ai]
+
+	// Pick a bound column for index lookup, if any.
+	lookupCol := -1
+	var lookupVal engine.Value
+	for col, t := range atom.terms {
+		if v, ok := ev.termValue(t); ok {
+			lookupCol, lookupVal = col, v
+			break
+		}
+	}
+
+	tryTuple := func(tp *engine.Tuple) bool {
+		if ev.stopped {
+			return false
+		}
+		// Match terms; record fresh bindings for undo.
+		fresh := ev.fresh[depth][:0]
+		ok := true
+		for col, t := range atom.terms {
+			v := tp.Vals[col]
+			if t.varID < 0 {
+				if !t.constVal.Equal(v) {
+					ok = false
+					break
+				}
+				continue
+			}
+			if ev.bound[t.varID] {
+				if !ev.bindings[t.varID].Equal(v) {
+					ok = false
+					break
+				}
+				continue
+			}
+			ev.bound[t.varID] = true
+			ev.bindings[t.varID] = v
+			fresh = append(fresh, t.varID)
+		}
+		undo := func() {
+			for _, id := range fresh {
+				ev.bound[id] = false
+			}
+		}
+		if !ok {
+			undo()
+			return true
+		}
+		// Run comparisons that just became fully bound.
+		for _, ci := range ev.compAt[depth] {
+			c := ev.cr.comps[ci]
+			lv, _ := ev.termValue(c.left)
+			rv, _ := ev.termValue(c.right)
+			if !c.op.Eval(lv, rv) {
+				undo()
+				return true
+			}
+		}
+		ev.tuples[ai] = tp
+		ev.run(depth + 1)
+		ev.tuples[ai] = nil
+		undo()
+		return !ev.stopped
+	}
+
+	for _, rel := range ev.sources[ai] {
+		if rel == nil {
+			continue
+		}
+		if lookupCol >= 0 {
+			for _, tp := range rel.Lookup(lookupCol, lookupVal) {
+				if !tryTuple(tp) {
+					return
+				}
+			}
+		} else {
+			rel.Scan(tryTuple)
+			if ev.stopped {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package datalog
+
+import "testing"
+
+// FuzzParse checks that the parser never panics on arbitrary input, and
+// that anything it accepts round-trips through String() to an equivalent
+// program (run with `go test -fuzz=FuzzParse ./internal/datalog` to
+// explore beyond the seed corpus).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Delta_R(x) :- R(x).",
+		"(0) Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.",
+		"∆Pub(p1, t1) :- Pub(p1, t1), Pub(p2, t2), t1 = t2, p1 != p2.",
+		"Delta_R(x) :- R(x), S(x, 42, 'str', -7, 2.5, _).",
+		"Delta_R(x) :- R(x), x <= 10, x >= 0, x <> 5.",
+		"# comment\nDelta_R(x) :- R(x). % other\n",
+		"Delta_R(x) :- R(x), Delta_S(x), Delta_R(y), x != y.",
+		"Delta_R(x) :-",
+		"(((((",
+		"Delta_R(x) :- R(x), 'unterminated",
+		"Δ_R(x) :- R(x).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal: %q\nrendered: %q", err, src, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("unstable rendering:\nfirst:  %q\nsecond: %q", rendered, p2.String())
+		}
+	})
+}
+
+// FuzzLexer checks the tokenizer alone never panics or loops.
+func FuzzLexer(f *testing.F) {
+	for _, s := range []string{":-", "''", "≠≤≥", "1.2.3", "-", "--1", "a_b9", "\\", "\x00"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexAll(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("lexAll must end with EOF")
+		}
+	})
+}

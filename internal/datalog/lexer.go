@@ -1,0 +1,252 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types of the rule language.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // ":-"
+	tokDot
+	tokOp // = != <> < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokImplies:
+		return "':-'"
+	case tokDot:
+		return "'.'"
+	case tokOp:
+		return "operator"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is one lexical token with its source position (1-based line).
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes delta-rule source text. Comments run from '#', '%', or
+// "//" to end of line. The delta prefix handling happens in the parser; the
+// lexer treats "Delta_Grant" as a single identifier and the Unicode deltas
+// ('∆', 'Δ') as identifier-leading characters.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func isDeltaRune(r rune) bool { return r == 'Δ' || r == '∆' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || isDeltaRune(r)
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#' || r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token or an error for unlexable input.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	line := l.line
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line}, nil
+	case r == '.':
+		// Distinguish the rule terminator from a leading decimal point of
+		// a number like ".5" (we require a leading digit, so '.' is always
+		// the terminator).
+		l.advance()
+		return token{tokDot, ".", line}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, fmt.Errorf("line %d: expected ':-' after ':'", line)
+		}
+		l.advance()
+		return token{tokImplies, ":-", line}, nil
+	case r == '=':
+		l.advance()
+		return token{tokOp, "=", line}, nil
+	case r == '!':
+		l.advance()
+		if l.peek() != '=' {
+			return token{}, fmt.Errorf("line %d: expected '=' after '!'", line)
+		}
+		l.advance()
+		return token{tokOp, "!=", line}, nil
+	case r == '≠':
+		l.advance()
+		return token{tokOp, "!=", line}, nil
+	case r == '<':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return token{tokOp, "<=", line}, nil
+		case '>':
+			l.advance()
+			return token{tokOp, "!=", line}, nil
+		default:
+			return token{tokOp, "<", line}, nil
+		}
+	case r == '≤':
+		l.advance()
+		return token{tokOp, "<=", line}, nil
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{tokOp, ">=", line}, nil
+		}
+		return token{tokOp, ">", line}, nil
+	case r == '≥':
+		l.advance()
+		return token{tokOp, ">=", line}, nil
+	case r == '\'' || r == '"':
+		quote := r
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			c := l.advance()
+			if c == quote {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+			}
+			b.WriteRune(c)
+		}
+		return token{tokString, b.String(), line}, nil
+	case unicode.IsDigit(r) || (r == '-' && unicode.IsDigit(l.at(1))):
+		var b strings.Builder
+		if r == '-' {
+			b.WriteRune(l.advance())
+		}
+		for l.pos < len(l.src) && (unicode.IsDigit(l.peek()) || l.peek() == '.') {
+			// Stop at '.' if not followed by a digit: it is the terminator.
+			if l.peek() == '.' && !unicode.IsDigit(l.at(1)) {
+				break
+			}
+			b.WriteRune(l.advance())
+		}
+		return token{tokNumber, b.String(), line}, nil
+	case isIdentStart(r):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for l.pos < len(l.src) && isIdentRune(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return token{tokIdent, b.String(), line}, nil
+	default:
+		return token{}, fmt.Errorf("line %d: unexpected character %q", line, r)
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

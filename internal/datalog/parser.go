@@ -1,0 +1,265 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Parse parses a delta program in the concrete syntax:
+//
+//	# rule (0) of the running example
+//	(0) Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.
+//	(1) Delta_Author(a, n) :- Author(a, n), AuthGrant(a, g), Delta_Grant(g, gn).
+//
+// Rules are optionally labeled with a parenthesized identifier or number.
+// Delta atoms are written with a "Delta_" prefix or a Unicode delta ('∆' or
+// 'Δ'). Terms are variables (bare identifiers; '_' is an anonymous
+// variable), integers, floats, or quoted strings. Comparisons use
+// =, !=, <>, <, <=, >, >= and may appear anywhere among the body items.
+// Each rule ends with '.'; '#', '%%' and '//' start comments.
+//
+// The returned program is parsed but not validated; call Validate to check
+// Def. 3.1 conditions and resolve SelfIdx before evaluating.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("datalog: empty program")
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for static program definitions.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseAndValidate parses then validates against the schema.
+func ParseAndValidate(src string, schema *engine.Schema) (*Program, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(schema); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	anon int // counter for '_' anonymous variables
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) at(i int) token {
+	if p.pos+i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+i]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return t, fmt.Errorf("line %d: expected %v, found %v %q", t.line, kind, t.kind, t.text)
+	}
+	return p.advance(), nil
+}
+
+// parseRule parses "[label] head :- body."
+func (p *parser) parseRule() (*Rule, error) {
+	label := ""
+	// Optional "(ident-or-number)" label followed by an identifier (the
+	// head atom). Lookahead distinguishes a label from nothing: a rule
+	// cannot start with '('.
+	if p.peek().kind == tokLParen {
+		inner := p.at(1)
+		if (inner.kind == tokIdent || inner.kind == tokNumber) && p.at(2).kind == tokRParen {
+			p.advance()
+			label = p.advance().text
+			p.advance()
+		} else {
+			return nil, fmt.Errorf("line %d: malformed rule label", p.peek().line)
+		}
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies); err != nil {
+		return nil, err
+	}
+	r := &Rule{Label: label, Head: head, SelfIdx: -1}
+	for {
+		item, comp, isComp, err := p.parseBodyItem()
+		if err != nil {
+			return nil, err
+		}
+		if isComp {
+			r.Comps = append(r.Comps, comp)
+		} else {
+			r.Body = append(r.Body, item)
+		}
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseBodyItem parses either an atom or a comparison.
+func (p *parser) parseBodyItem() (Atom, Comparison, bool, error) {
+	t := p.peek()
+	// An atom starts with an identifier followed by '('.
+	if t.kind == tokIdent && p.at(1).kind == tokLParen {
+		a, err := p.parseAtom()
+		return a, Comparison{}, false, err
+	}
+	// Otherwise a comparison: term op term.
+	left, err := p.parseTerm()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return Atom{}, Comparison{}, false, fmt.Errorf("line %d: %w", opTok.line, err)
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return Atom{}, Comparison{}, false, err
+	}
+	return Atom{}, Comparison{Left: left, Op: op, Right: right}, true, nil
+}
+
+func parseOp(s string) (CompOp, error) {
+	switch s {
+	case "=":
+		return OpEQ, nil
+	case "!=", "<>":
+		return OpNEQ, nil
+	case "<":
+		return OpLT, nil
+	case "<=":
+		return OpLEQ, nil
+	case ">":
+		return OpGT, nil
+	case ">=":
+		return OpGEQ, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", s)
+	}
+}
+
+// parseAtom parses "Name(term, ...)" handling the delta prefixes.
+func (p *parser) parseAtom() (Atom, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	name := nameTok.text
+	delta := false
+	switch {
+	case strings.HasPrefix(name, "Delta_"):
+		delta = true
+		name = strings.TrimPrefix(name, "Delta_")
+	case strings.HasPrefix(name, "delta_"):
+		delta = true
+		name = strings.TrimPrefix(name, "delta_")
+	case strings.HasPrefix(name, "Δ") || strings.HasPrefix(name, "∆"):
+		delta = true
+		name = strings.TrimPrefix(strings.TrimPrefix(name, "Δ"), "∆")
+		name = strings.TrimPrefix(name, "_")
+	}
+	if name == "" {
+		return Atom{}, fmt.Errorf("line %d: empty relation name after delta prefix", nameTok.line)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Atom{}, err
+	}
+	var terms []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		terms = append(terms, t)
+		if p.peek().kind == tokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Delta: delta, Rel: name, Terms: terms}, nil
+}
+
+// parseTerm parses a variable or constant.
+func (p *parser) parseTerm() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.advance()
+		if t.text == "_" {
+			p.anon++
+			return V(fmt.Sprintf("_anon%d", p.anon)), nil
+		}
+		return V(t.text), nil
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Term{}, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+			}
+			return C(engine.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return C(engine.Int64(i)), nil
+	case tokString:
+		p.advance()
+		return C(engine.Str(t.text)), nil
+	default:
+		return Term{}, fmt.Errorf("line %d: expected a term, found %v %q", t.line, t.kind, t.text)
+	}
+}

@@ -1,0 +1,236 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+// referenceEval enumerates assignments by brute-force nested loops over the
+// cross product of all atom sources, checking every constraint at the end.
+// It is the executable specification the optimized join is tested against.
+func referenceEval(rule *Rule, sources []AtomSource) []string {
+	var results []string
+	tuples := make([]*engine.Tuple, len(rule.Body))
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(rule.Body) {
+			if asn := checkAssignment(rule, tuples); asn != "" {
+				results = append(results, asn)
+			}
+			return
+		}
+		for _, rel := range sources[i] {
+			if rel == nil {
+				continue
+			}
+			for _, tp := range rel.Tuples() {
+				tuples[i] = tp
+				rec(i + 1)
+			}
+		}
+		tuples[i] = nil
+	}
+	rec(0)
+	sort.Strings(results)
+	return results
+}
+
+// checkAssignment validates a candidate tuple vector against the rule's
+// constants, repeated variables, and comparisons; it returns a canonical
+// string for comparison or "" if invalid.
+func checkAssignment(rule *Rule, tuples []*engine.Tuple) string {
+	bind := make(map[string]engine.Value)
+	for i, a := range rule.Body {
+		for col, term := range a.Terms {
+			v := tuples[i].Vals[col]
+			if !term.IsVar() {
+				if !term.Const.Equal(v) {
+					return ""
+				}
+				continue
+			}
+			if prev, ok := bind[term.Var]; ok {
+				if !prev.Equal(v) {
+					return ""
+				}
+			} else {
+				bind[term.Var] = v
+			}
+		}
+	}
+	for _, c := range rule.Comps {
+		l, r := c.Left.Const, c.Right.Const
+		if c.Left.IsVar() {
+			l = bind[c.Left.Var]
+		}
+		if c.Right.IsVar() {
+			r = bind[c.Right.Var]
+		}
+		if !c.Op.Eval(l, r) {
+			return ""
+		}
+	}
+	key := ""
+	for _, tp := range tuples {
+		key += tp.Key() + "|"
+	}
+	return key
+}
+
+// randomEvalInstance builds a random database and rule for the equivalence
+// property.
+func randomEvalInstance(seed int64) (*engine.Database, *Rule, error) {
+	rng := rand.New(rand.NewSource(seed))
+	s := engine.NewSchema()
+	s.MustAddRelation("A", "a", "x", "y")
+	s.MustAddRelation("B", "b", "x")
+	s.MustAddRelation("C", "c", "x", "y", "z")
+
+	db := engine.NewDatabase(s)
+	dom := 1 + rng.Intn(4)
+	for i, n := 0, rng.Intn(7); i < n; i++ {
+		db.MustInsert("A", engine.Int(rng.Intn(dom)), engine.Int(rng.Intn(dom)))
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		db.MustInsert("B", engine.Int(rng.Intn(dom)))
+	}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		db.MustInsert("C", engine.Int(rng.Intn(dom)), engine.Int(rng.Intn(dom)), engine.Int(rng.Intn(dom)))
+	}
+
+	// Random rule: head over A, body with 1-3 extra atoms and random
+	// variable sharing from a small pool.
+	pool := []string{"x", "y", "z", "w"}
+	rels := []struct {
+		name  string
+		arity int
+	}{{"A", 2}, {"B", 1}, {"C", 3}}
+	head := Atom{Delta: true, Rel: "A", Terms: []Term{V("x"), V("y")}}
+	body := []Atom{{Rel: "A", Terms: []Term{V("x"), V("y")}}}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		r := rels[rng.Intn(len(rels))]
+		terms := make([]Term, r.arity)
+		for j := range terms {
+			if rng.Intn(5) == 0 {
+				terms[j] = CInt(int64(rng.Intn(dom)))
+			} else {
+				terms[j] = V(pool[rng.Intn(len(pool))])
+			}
+		}
+		body = append(body, Atom{Rel: r.name, Terms: terms})
+	}
+	var comps []Comparison
+	if rng.Intn(2) == 0 {
+		comps = append(comps, Comparison{
+			Left:  V("x"),
+			Op:    CompOp(rng.Intn(6)),
+			Right: CInt(int64(rng.Intn(dom))),
+		})
+	}
+	rule := NewRule("", head, body, comps...)
+	p := NewProgram(rule)
+	if err := p.Validate(s); err != nil {
+		return nil, nil, err
+	}
+	return db, rule, nil
+}
+
+// TestPropertyJoinMatchesReference: the optimized index-assisted join must
+// enumerate exactly the assignments of the brute-force reference, for
+// random rules and databases.
+func TestPropertyJoinMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		db, rule, err := randomEvalInstance(seed)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		sources := SourcesFor(db, rule, DeltaFromDelta)
+		var got []string
+		if err := EvalRule(rule, sources, func(a *Assignment) bool {
+			key := ""
+			for _, tp := range a.Tuples {
+				key += tp.Key() + "|"
+			}
+			got = append(got, key)
+			return true
+		}); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		sort.Strings(got)
+		want := referenceEval(rule, sources)
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d assignments, reference %d\nrule: %s",
+				seed, len(got), len(want), rule)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: assignment %d differs:\n  got  %s\n  want %s",
+					seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJoinWithDeltaAtoms repeats the equivalence with delta atoms
+// in the body (sourced from partially-deleted databases).
+func TestPropertyJoinWithDeltaAtoms(t *testing.T) {
+	f := func(seed int64) bool {
+		db, _, err := randomEvalInstance(seed)
+		if err != nil {
+			return false
+		}
+		// Delete ~a third of A's tuples into the delta side.
+		rng := rand.New(rand.NewSource(seed ^ 0xdead))
+		for _, tp := range db.Relation("A").Tuples() {
+			if rng.Intn(3) == 0 {
+				db.DeleteToDelta(tp.Key())
+			}
+		}
+		rule := NewRule("",
+			Atom{Delta: true, Rel: "C", Terms: []Term{V("x"), V("y"), V("z")}},
+			[]Atom{
+				{Rel: "C", Terms: []Term{V("x"), V("y"), V("z")}},
+				{Delta: true, Rel: "A", Terms: []Term{V("x"), V("w")}},
+			})
+		p := NewProgram(rule)
+		if err := p.Validate(db.Schema); err != nil {
+			return false
+		}
+		sources := SourcesFor(db, rule, DeltaFromDelta)
+		var got []string
+		if err := EvalRule(rule, sources, func(a *Assignment) bool {
+			key := ""
+			for _, tp := range a.Tuples {
+				key += tp.Key() + "|"
+			}
+			got = append(got, key)
+			return true
+		}); err != nil {
+			return false
+		}
+		sort.Strings(got)
+		want := referenceEval(rule, sources)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Logf("seed %d: delta-join mismatch: got %v want %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// LoadCSV reads tuples for relation rel from r (one row per tuple, no
+// header) and inserts them into the database. Values are parsed with
+// ParseValue, so quoted fields become strings and numerics become ints or
+// floats. It returns the number of tuples inserted.
+func (db *Database) LoadCSV(rel string, r io.Reader) (int, error) {
+	rs := db.Schema.Relation(rel)
+	if rs == nil {
+		return 0, fmt.Errorf("engine: unknown relation %q", rel)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = rs.Arity()
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: reading CSV for %s: %w", rel, err)
+		}
+		vals := make([]Value, len(rec))
+		for i, f := range rec {
+			vals[i] = ParseValue(f)
+		}
+		if _, err := db.Insert(rel, vals...); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LoadCSVFile is LoadCSV reading from a file path.
+func (db *Database) LoadCSVFile(rel, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return db.LoadCSV(rel, f)
+}
+
+// WriteCSV writes the live tuples of relation rel to w, one row per tuple
+// in deterministic (Seq) order, without a header. String values are written
+// bare; the CSV layer adds quoting only where syntax requires it.
+func (db *Database) WriteCSV(rel string, w io.Writer) error {
+	r := db.base[rel]
+	if r == nil {
+		return fmt.Errorf("engine: unknown relation %q", rel)
+	}
+	cw := csv.NewWriter(w)
+	tuples := r.Tuples()
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Seq < tuples[j].Seq })
+	rec := make([]string, r.Arity)
+	for _, t := range tuples {
+		for i, v := range t.Vals {
+			if v.Kind == KindString {
+				rec[i] = v.Str
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile is WriteCSV writing to a file path.
+func (db *Database) WriteCSVFile(rel, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.WriteCSV(rel, f)
+}

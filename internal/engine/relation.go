@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a set of tuples with deterministic iteration order and lazily
+// built hash indexes on single columns. Deletions are supported in O(1) per
+// index; iteration skips tombstones and the backing slice is compacted when
+// more than half of it is dead.
+//
+// A Relation is used both for base relations R_i and delta relations ∆_i
+// (which share the base relation's schema per §3.1 of the paper).
+type Relation struct {
+	Name  string
+	Arity int
+
+	tuples map[string]*Tuple // content key -> tuple
+	order  []*Tuple          // insertion order; nil entries are tombstones
+	dead   int               // number of tombstones in order
+
+	// indexes[col][valueKey] -> tuples having that value at col.
+	indexes map[int]map[string]map[string]*Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{
+		Name:   name,
+		Arity:  arity,
+		tuples: make(map[string]*Tuple),
+	}
+}
+
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Contains reports whether a tuple with the given content key is present.
+func (r *Relation) Contains(key string) bool {
+	_, ok := r.tuples[key]
+	return ok
+}
+
+// Get returns the tuple with the given content key, or nil.
+func (r *Relation) Get(key string) *Tuple { return r.tuples[key] }
+
+// Insert adds a tuple; it reports whether the tuple was new. The tuple's
+// arity must match the relation's.
+func (r *Relation) Insert(t *Tuple) bool {
+	if len(t.Vals) != r.Arity {
+		panic(fmt.Sprintf("engine: arity mismatch inserting %s into %s/%d", t, r.Name, r.Arity))
+	}
+	key := t.Key()
+	if _, dup := r.tuples[key]; dup {
+		return false
+	}
+	r.tuples[key] = t
+	r.order = append(r.order, t)
+	for col, idx := range r.indexes {
+		vk := t.Vals[col].keyString()
+		bucket := idx[vk]
+		if bucket == nil {
+			bucket = make(map[string]*Tuple)
+			idx[vk] = bucket
+		}
+		bucket[key] = t
+	}
+	return true
+}
+
+// Delete removes the tuple with the given content key; it reports whether
+// the tuple was present.
+func (r *Relation) Delete(key string) bool {
+	t, ok := r.tuples[key]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, key)
+	for col, idx := range r.indexes {
+		vk := t.Vals[col].keyString()
+		if bucket := idx[vk]; bucket != nil {
+			delete(bucket, key)
+			if len(bucket) == 0 {
+				delete(idx, vk)
+			}
+		}
+	}
+	// Tombstone in the order slice; compact when mostly dead.
+	r.dead++
+	if r.dead*2 > len(r.order) && len(r.order) > 16 {
+		r.compact()
+	}
+	return true
+}
+
+func (r *Relation) compact() {
+	live := r.order[:0]
+	for _, t := range r.order {
+		if t != nil && r.tuples[t.Key()] == t {
+			live = append(live, t)
+		}
+	}
+	r.order = live
+	r.dead = 0
+}
+
+// Scan calls fn for each live tuple in insertion order; fn returning false
+// stops the scan. Mutating the relation during a scan is not supported.
+func (r *Relation) Scan(fn func(*Tuple) bool) {
+	for _, t := range r.order {
+		if t == nil || r.tuples[t.Key()] != t {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns the live tuples in insertion order.
+func (r *Relation) Tuples() []*Tuple {
+	out := make([]*Tuple, 0, len(r.tuples))
+	r.Scan(func(t *Tuple) bool { out = append(out, t); return true })
+	return out
+}
+
+// Keys returns the live tuples' content keys in insertion order.
+func (r *Relation) Keys() []string {
+	out := make([]string, 0, len(r.tuples))
+	r.Scan(func(t *Tuple) bool { out = append(out, t.Key()); return true })
+	return out
+}
+
+// ensureIndex builds the hash index on col if missing.
+func (r *Relation) ensureIndex(col int) map[string]map[string]*Tuple {
+	if r.indexes == nil {
+		r.indexes = make(map[int]map[string]map[string]*Tuple)
+	}
+	idx, ok := r.indexes[col]
+	if ok {
+		return idx
+	}
+	idx = make(map[string]map[string]*Tuple)
+	for key, t := range r.tuples {
+		vk := t.Vals[col].keyString()
+		bucket := idx[vk]
+		if bucket == nil {
+			bucket = make(map[string]*Tuple)
+			idx[vk] = bucket
+		}
+		bucket[key] = t
+	}
+	r.indexes[col] = idx
+	return idx
+}
+
+// Lookup returns the live tuples whose value at col equals v, ordered by
+// insertion sequence (deterministic). The first call on a column builds its
+// index in O(n).
+func (r *Relation) Lookup(col int, v Value) []*Tuple {
+	if col < 0 || col >= r.Arity {
+		return nil
+	}
+	idx := r.ensureIndex(col)
+	bucket := idx[v.keyString()]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]*Tuple, 0, len(bucket))
+	for _, t := range bucket {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// LookupCount returns the number of live tuples whose value at col equals v
+// without materializing them.
+func (r *Relation) LookupCount(col int, v Value) int {
+	if col < 0 || col >= r.Arity {
+		return 0
+	}
+	return len(r.ensureIndex(col)[v.keyString()])
+}
+
+// Clone returns a deep copy of the relation structure. Tuples are shared by
+// pointer (they are immutable); maps and the order slice are copied, and
+// indexes are dropped (they rebuild lazily on demand).
+func (r *Relation) Clone() *Relation {
+	c := &Relation{
+		Name:   r.Name,
+		Arity:  r.Arity,
+		tuples: make(map[string]*Tuple, len(r.tuples)),
+		order:  make([]*Tuple, 0, len(r.tuples)),
+	}
+	r.Scan(func(t *Tuple) bool {
+		c.tuples[t.Key()] = t
+		c.order = append(c.order, t)
+		return true
+	})
+	return c
+}
+
+// String renders "Name[n]".
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s[%d]", r.Name, r.Len())
+}

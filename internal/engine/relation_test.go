@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkTuple(rel string, seq int, vals ...Value) *Tuple {
+	t := NewTuple(rel, vals...)
+	t.Seq = seq
+	return t
+}
+
+func TestRelationInsertDeleteContains(t *testing.T) {
+	r := NewRelation("R", 2)
+	a := mkTuple("R", 1, Int(1), Str("x"))
+	b := mkTuple("R", 2, Int(2), Str("y"))
+
+	if !r.Insert(a) {
+		t.Fatal("first insert should be new")
+	}
+	if r.Insert(mkTuple("R", 3, Int(1), Str("x"))) {
+		t.Fatal("duplicate content insert should report false")
+	}
+	r.Insert(b)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if !r.Contains(a.Key()) || !r.Contains(b.Key()) {
+		t.Fatal("Contains should report inserted tuples")
+	}
+	if !r.Delete(a.Key()) {
+		t.Fatal("delete of live tuple should succeed")
+	}
+	if r.Delete(a.Key()) {
+		t.Fatal("double delete should report false")
+	}
+	if r.Len() != 1 || r.Contains(a.Key()) {
+		t.Fatal("tuple should be gone after delete")
+	}
+}
+
+func TestRelationArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inserting a wrong-arity tuple should panic")
+		}
+	}()
+	r := NewRelation("R", 2)
+	r.Insert(mkTuple("R", 1, Int(1)))
+}
+
+func TestRelationScanOrderIsInsertionOrder(t *testing.T) {
+	r := NewRelation("R", 1)
+	var want []string
+	for i := 0; i < 50; i++ {
+		tp := mkTuple("R", i+1, Int(i))
+		r.Insert(tp)
+		want = append(want, tp.Key())
+	}
+	// Delete every third tuple to introduce tombstones.
+	for i := 0; i < 50; i += 3 {
+		r.Delete(ContentKey("R", []Value{Int(i)}))
+	}
+	var liveWant []string
+	for i, k := range want {
+		if i%3 != 0 {
+			liveWant = append(liveWant, k)
+		}
+	}
+	got := r.Keys()
+	if len(got) != len(liveWant) {
+		t.Fatalf("got %d keys, want %d", len(got), len(liveWant))
+	}
+	for i := range got {
+		if got[i] != liveWant[i] {
+			t.Fatalf("order mismatch at %d: got %s want %s", i, got[i], liveWant[i])
+		}
+	}
+}
+
+func TestRelationScanEarlyStop(t *testing.T) {
+	r := NewRelation("R", 1)
+	for i := 0; i < 10; i++ {
+		r.Insert(mkTuple("R", i+1, Int(i)))
+	}
+	n := 0
+	r.Scan(func(*Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("scan visited %d tuples, want 3", n)
+	}
+}
+
+func TestRelationCompactionPreservesContent(t *testing.T) {
+	r := NewRelation("R", 1)
+	for i := 0; i < 200; i++ {
+		r.Insert(mkTuple("R", i+1, Int(i)))
+	}
+	for i := 0; i < 150; i++ {
+		r.Delete(ContentKey("R", []Value{Int(i)}))
+	}
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", r.Len())
+	}
+	keys := r.Keys()
+	if len(keys) != 50 {
+		t.Fatalf("Keys len = %d, want 50", len(keys))
+	}
+	for i, k := range keys {
+		want := ContentKey("R", []Value{Int(150 + i)})
+		if k != want {
+			t.Fatalf("after compaction key[%d] = %s, want %s", i, k, want)
+		}
+	}
+}
+
+func TestRelationLookup(t *testing.T) {
+	r := NewRelation("W", 2)
+	// Writes(aid, pid): author 4 writes papers 6 and 8; author 5 writes 7.
+	w1 := mkTuple("W", 1, Int(4), Int(6))
+	w2 := mkTuple("W", 2, Int(5), Int(7))
+	w3 := mkTuple("W", 3, Int(4), Int(8))
+	r.Insert(w1)
+	r.Insert(w2)
+	r.Insert(w3)
+
+	got := r.Lookup(0, Int(4))
+	if len(got) != 2 || got[0] != w1 || got[1] != w3 {
+		t.Fatalf("Lookup(0, 4) = %v, want [w1 w3] in Seq order", got)
+	}
+	if n := r.LookupCount(0, Int(4)); n != 2 {
+		t.Fatalf("LookupCount = %d, want 2", n)
+	}
+	if got := r.Lookup(1, Int(7)); len(got) != 1 || got[0] != w2 {
+		t.Fatalf("Lookup(1, 7) = %v, want [w2]", got)
+	}
+	if got := r.Lookup(0, Int(99)); got != nil {
+		t.Fatalf("Lookup miss should be nil, got %v", got)
+	}
+	if got := r.Lookup(5, Int(1)); got != nil {
+		t.Fatalf("Lookup out-of-range column should be nil, got %v", got)
+	}
+}
+
+func TestRelationLookupStaysCorrectUnderMutation(t *testing.T) {
+	r := NewRelation("R", 2)
+	for i := 0; i < 20; i++ {
+		r.Insert(mkTuple("R", i+1, Int(i%4), Int(i)))
+	}
+	// Build the index.
+	if n := len(r.Lookup(0, Int(1))); n != 5 {
+		t.Fatalf("pre-delete Lookup = %d, want 5", n)
+	}
+	// Delete two tuples with value 1 at col 0 (i = 1, 5).
+	r.Delete(ContentKey("R", []Value{Int(1), Int(1)}))
+	r.Delete(ContentKey("R", []Value{Int(1), Int(5)}))
+	if n := len(r.Lookup(0, Int(1))); n != 3 {
+		t.Fatalf("post-delete Lookup = %d, want 3", n)
+	}
+	// Insert after index exists: index must pick it up.
+	r.Insert(mkTuple("R", 100, Int(1), Int(999)))
+	if n := len(r.Lookup(0, Int(1))); n != 4 {
+		t.Fatalf("post-insert Lookup = %d, want 4", n)
+	}
+}
+
+func TestRelationCloneIsIndependent(t *testing.T) {
+	r := NewRelation("R", 1)
+	for i := 0; i < 10; i++ {
+		r.Insert(mkTuple("R", i+1, Int(i)))
+	}
+	c := r.Clone()
+	r.Delete(ContentKey("R", []Value{Int(0)}))
+	c.Insert(mkTuple("R", 11, Int(100)))
+	if r.Len() != 9 {
+		t.Fatalf("original Len = %d, want 9", r.Len())
+	}
+	if c.Len() != 11 {
+		t.Fatalf("clone Len = %d, want 11", c.Len())
+	}
+	if !c.Contains(ContentKey("R", []Value{Int(0)})) {
+		t.Fatal("clone should still contain the tuple deleted from the original")
+	}
+}
+
+func TestTupleKeyAndString(t *testing.T) {
+	tp := mkTuple("Grant", 1, Int(2), Str("ERC"))
+	tp.ID = "g2"
+	if tp.Key() != `Grant(i2,"ERC")` {
+		t.Fatalf("Key = %q", tp.Key())
+	}
+	if tp.String() != "g2: Grant(2, 'ERC')" {
+		t.Fatalf("String = %q", tp.String())
+	}
+	if tp.Arity() != 2 {
+		t.Fatalf("Arity = %d", tp.Arity())
+	}
+}
+
+func TestTupleEqualContent(t *testing.T) {
+	a := mkTuple("R", 1, Int(1), Str("x"))
+	b := mkTuple("R", 9, Int(1), Str("x"))
+	c := mkTuple("R", 2, Int(2), Str("x"))
+	d := mkTuple("S", 3, Int(1), Str("x"))
+	if !a.EqualContent(b) {
+		t.Error("same content should be equal regardless of Seq")
+	}
+	if a.EqualContent(c) || a.EqualContent(d) {
+		t.Error("different values or relation should not be equal")
+	}
+}
+
+func TestRelationStringer(t *testing.T) {
+	r := NewRelation("R", 1)
+	r.Insert(mkTuple("R", 1, Int(1)))
+	if s := fmt.Sprint(r); s != "R[1]" {
+		t.Fatalf("String = %q, want R[1]", s)
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot persistence: a Database (schema, base relations, delta
+// relations, tuple identities) serialized with encoding/gob. Snapshots let
+// a repair session be saved and resumed — including the record of what was
+// already deleted, which CSV export cannot carry.
+
+// snapTuple is the serialized form of one tuple.
+type snapTuple struct {
+	ID   string
+	Seq  int
+	Vals []Value
+}
+
+// snapRelation is the serialized form of one relation schema plus its base
+// and delta contents.
+type snapRelation struct {
+	Name     string
+	IDPrefix string
+	Attrs    []string
+	NextID   int
+	Base     []snapTuple
+	Delta    []snapTuple
+}
+
+// snapshot is the full serialized database.
+type snapshot struct {
+	Format    int // version tag for forward compatibility
+	Relations []snapRelation
+}
+
+// snapshotFormat is the current snapshot version.
+const snapshotFormat = 1
+
+// Save serializes the database (schema, base and delta relations, tuple
+// identifiers and order) to w.
+func (db *Database) Save(w io.Writer) error {
+	snap := snapshot{Format: snapshotFormat}
+	for _, rs := range db.Schema.Relations {
+		sr := snapRelation{
+			Name:     rs.Name,
+			IDPrefix: rs.IDPrefix,
+			Attrs:    rs.Attrs,
+			NextID:   db.nextID[rs.Name],
+		}
+		db.base[rs.Name].Scan(func(t *Tuple) bool {
+			sr.Base = append(sr.Base, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
+			return true
+		})
+		db.delta[rs.Name].Scan(func(t *Tuple) bool {
+			sr.Delta = append(sr.Delta, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
+			return true
+		})
+		snap.Relations = append(snap.Relations, sr)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// SaveFile is Save writing to a file path.
+func (db *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return db.Save(f)
+}
+
+// LoadSnapshot reconstructs a database from a Save stream. Tuple
+// identifiers, sequence order, and delta contents round-trip exactly.
+func LoadSnapshot(r io.Reader) (*Database, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("engine: unsupported snapshot format %d", snap.Format)
+	}
+	schema := NewSchema()
+	for _, sr := range snap.Relations {
+		if _, err := schema.AddRelation(sr.Name, sr.IDPrefix, sr.Attrs...); err != nil {
+			return nil, err
+		}
+	}
+	db := NewDatabase(schema)
+	maxSeq := 0
+	for _, sr := range snap.Relations {
+		for _, st := range sr.Base {
+			t := &Tuple{ID: st.ID, Rel: sr.Name, Vals: st.Vals, Seq: st.Seq}
+			db.base[sr.Name].Insert(t)
+			if st.Seq > maxSeq {
+				maxSeq = st.Seq
+			}
+		}
+		for _, st := range sr.Delta {
+			t := &Tuple{ID: st.ID, Rel: sr.Name, Vals: st.Vals, Seq: st.Seq}
+			db.delta[sr.Name].Insert(t)
+			if st.Seq > maxSeq {
+				maxSeq = st.Seq
+			}
+		}
+		db.nextID[sr.Name] = sr.NextID
+	}
+	db.seq = maxSeq
+	return db, nil
+}
+
+// LoadSnapshotFile is LoadSnapshot reading from a file path.
+func LoadSnapshotFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := paperDatabase()
+	// Delete a couple of tuples so the delta side is non-trivial.
+	db.DeleteToDelta(ContentKey("Grant", []Value{Int(2), Str("ERC")}))
+	db.DeleteToDelta(ContentKey("Author", []Value{Int(4), Str("Marge")}))
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema round trip.
+	if len(back.Schema.Relations) != len(db.Schema.Relations) {
+		t.Fatal("schema relation count differs")
+	}
+	for i, rs := range db.Schema.Relations {
+		brs := back.Schema.Relations[i]
+		if rs.Name != brs.Name || rs.IDPrefix != brs.IDPrefix || strings.Join(rs.Attrs, ",") != strings.Join(brs.Attrs, ",") {
+			t.Fatalf("schema relation %d differs: %v vs %v", i, rs, brs)
+		}
+	}
+	// Contents round trip, including order, IDs, and deltas.
+	for _, rs := range db.Schema.Relations {
+		a, b := db.Relation(rs.Name).Tuples(), back.Relation(rs.Name).Tuples()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d tuples", rs.Name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Key() != b[i].Key() || a[i].ID != b[i].ID || a[i].Seq != b[i].Seq {
+				t.Fatalf("%s[%d]: %v vs %v", rs.Name, i, a[i], b[i])
+			}
+		}
+		da, dbt := db.Delta(rs.Name).Tuples(), back.Delta(rs.Name).Tuples()
+		if len(da) != len(dbt) {
+			t.Fatalf("%s delta: %d vs %d", rs.Name, len(da), len(dbt))
+		}
+	}
+	// Inserting after load continues the ID sequence without collisions.
+	tp := back.MustInsert("Author", Int(99), Str("Lisa"))
+	if tp.ID != "a4" {
+		t.Fatalf("post-load insert ID = %s, want a4", tp.ID)
+	}
+	if tp.Seq <= 13 {
+		t.Fatalf("post-load Seq = %d should exceed loaded maximum", tp.Seq)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	db := paperDatabase()
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalTuples() != db.TotalTuples() {
+		t.Fatalf("tuple counts differ: %d vs %d", back.TotalTuples(), db.TotalTuples())
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := LoadSnapshot(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage input should fail")
+	}
+	if _, err := LoadSnapshotFile("/nonexistent/db.snap"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	db := paperDatabase()
+	if err := db.SaveFile("/nonexistent/dir/db.snap"); err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+}
+
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	db := NewDatabase(paperSchema())
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalTuples() != 0 || len(back.Schema.Relations) != 6 {
+		t.Fatal("empty database should round trip")
+	}
+}

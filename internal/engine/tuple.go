@@ -1,0 +1,92 @@
+package engine
+
+import "strings"
+
+// Tuple is an immutable row of a relation. Tuples carry a stable external
+// identifier (ID, e.g. "a2" for the second Author tuple) used in repair
+// reports and in the paper's figures, a content key used for set semantics,
+// and a sequence number fixing a deterministic global order.
+//
+// Tuples are shared by pointer between a database, its clones, and its delta
+// relations; they must never be mutated after insertion.
+type Tuple struct {
+	// ID is the stable human-readable identifier, assigned at insertion
+	// (relation prefix + ordinal) or provided by the caller.
+	ID string
+	// Rel is the relation name the tuple belongs to.
+	Rel string
+	// Vals holds the attribute values, in schema order.
+	Vals []Value
+	// Seq is a database-global insertion sequence number; it defines the
+	// deterministic iteration and tie-breaking order everywhere.
+	Seq int
+
+	key string // cached content key
+}
+
+// NewTuple builds a detached tuple (Seq and ID are set on insertion).
+func NewTuple(rel string, vals ...Value) *Tuple {
+	return &Tuple{Rel: rel, Vals: vals}
+}
+
+// Key returns the injective content key "Rel(v1,v2,...)". Two tuples with
+// the same relation and values share the same key; the key identifies the
+// tuple in delta relations, provenance formulas, and SAT variables.
+func (t *Tuple) Key() string {
+	if t.key == "" {
+		t.key = ContentKey(t.Rel, t.Vals)
+	}
+	return t.key
+}
+
+// ContentKey computes the content key for a relation name and value list
+// without materializing a tuple.
+func ContentKey(rel string, vals []Value) string {
+	var b strings.Builder
+	b.Grow(len(rel) + 2 + len(vals)*8)
+	b.WriteString(rel)
+	b.WriteByte('(')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.keyString())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Arity returns the number of attributes.
+func (t *Tuple) Arity() int { return len(t.Vals) }
+
+// String renders the tuple as "id: Rel(v1, v2)".
+func (t *Tuple) String() string {
+	var b strings.Builder
+	if t.ID != "" {
+		b.WriteString(t.ID)
+		b.WriteString(": ")
+	}
+	b.WriteString(t.Rel)
+	b.WriteByte('(')
+	for i, v := range t.Vals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// EqualContent reports whether two tuples have the same relation and values.
+func (t *Tuple) EqualContent(o *Tuple) bool {
+	if t.Rel != o.Rel || len(t.Vals) != len(o.Vals) {
+		return false
+	}
+	for i := range t.Vals {
+		if !t.Vals[i].Equal(o.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}

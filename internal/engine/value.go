@@ -1,0 +1,178 @@
+// Package engine implements the in-memory relational substrate the delta-rule
+// framework runs on: typed values, tuples with stable identifiers, relations
+// with hash indexes that remain valid under deletion, and databases that pair
+// every base relation R_i with its delta relation ∆_i of deleted tuples.
+//
+// The paper ("On Multiple Semantics for Declarative Database Repairs",
+// SIGMOD 2020) stores data in PostgreSQL and evaluates delta rules as SQL
+// queries; this package is the equivalent substrate for a pure-Go build. All
+// operations are deterministic: relations iterate in insertion order and
+// index lookups return tuples in insertion order, so repair results are
+// reproducible run to run.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the engine. The paper's
+// datasets (MAS, TPC-H) need integers and strings; floats are included for
+// TPC-H numeric columns.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindInt Kind = iota
+	KindString
+	KindFloat
+)
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed scalar stored in a tuple. The zero value is the integer 0.
+// Values are immutable and safe to copy and compare with ==, except that
+// cross-kind numeric comparison should use Compare.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// Int64 returns an integer value.
+func Int64(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Int returns an integer value from a machine int.
+func Int(i int) Value { return Value{Kind: KindInt, Int: int64(i)} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Str returns a string value; alias of String_ preferred in call sites.
+func Str(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Flt: f} }
+
+// IsNumeric reports whether the value is an int or a float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat returns the numeric value widened to float64. Strings return 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int)
+	case KindFloat:
+		return v.Flt
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality. Ints and floats compare numerically
+// cross-kind (1 == 1.0), mirroring SQL comparison semantics.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == o.Kind {
+		switch v.Kind {
+		case KindInt:
+			return v.Int == o.Int
+		case KindFloat:
+			return v.Flt == o.Flt
+		default:
+			return v.Str == o.Str
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 ordering v relative to o. Numeric kinds
+// compare numerically; strings compare lexicographically; a numeric value
+// orders before a string (arbitrary but fixed cross-kind order).
+func (v Value) Compare(o Value) int {
+	vn, on := v.IsNumeric(), o.IsNumeric()
+	switch {
+	case vn && on:
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case vn && !on:
+		return -1
+	case !vn && on:
+		return 1
+	default:
+		return strings.Compare(v.Str, o.Str)
+	}
+}
+
+// String renders the value for display: integers and floats bare, strings
+// single-quoted.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	default:
+		return "'" + v.Str + "'"
+	}
+}
+
+// keyString renders the value for use inside tuple content keys. The
+// encoding is injective across kinds: integers as i<n>, floats as f<x>,
+// strings quoted (so embedded commas or parens cannot collide).
+func (v Value) keyString() string {
+	switch v.Kind {
+	case KindInt:
+		return "i" + strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	default:
+		return strconv.Quote(v.Str)
+	}
+}
+
+// ParseValue parses a literal into a Value: quoted text ('x' or "x")
+// becomes a string, text with a decimal point or exponent a finite float,
+// digits an int, and anything else a string. NaN and infinity spellings
+// stay strings — the engine's numeric domain is finite, keeping Equal
+// reflexive and Compare a total order.
+func ParseValue(s string) Value {
+	t := strings.TrimSpace(s)
+	if len(t) >= 2 {
+		if (t[0] == '\'' && t[len(t)-1] == '\'') || (t[0] == '"' && t[len(t)-1] == '"') {
+			return Str(t[1 : len(t)-1])
+		}
+	}
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int64(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil && !math.IsNaN(f) && !math.IsInf(f, 0) {
+		return Float(f)
+	}
+	return Str(t)
+}

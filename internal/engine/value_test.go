@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(7), KindInt},
+		{Int64(-3), KindInt},
+		{Str("x"), KindString},
+		{Float(2.5), KindFloat},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Float(1.5), Float(1.5), true},
+		{Int(1), Float(1.0), true}, // cross-kind numeric equality
+		{Float(2.0), Int(2), true}, // symmetric
+		{Int(1), Str("1"), false},  // no numeric/string coercion
+		{Str(""), Int(0), false},   // zero values of different kinds differ
+		{Float(1.25), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("a"), Str("a"), 0},
+		{Int(999), Str("a"), -1}, // numerics order before strings
+		{Str("a"), Int(999), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int64(a).Compare(Int64(b)) == -Int64(b).Compare(Int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Str(a).Compare(Str(b)) == -Str(b).Compare(Str(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int64(-1), "-1"},
+		{Str("ERC"), "'ERC'"},
+		{Float(2.5), "2.5"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyStringInjective(t *testing.T) {
+	// Distinct values must have distinct key strings, including tricky
+	// string contents that could collide with numeric encodings.
+	vals := []Value{
+		Int(1), Int(12), Str("1"), Str("i1"), Str("a,b"), Str("a\"b"),
+		Float(1), Float(1.5), Str("f1"), Str(""), Int(0),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := v.keyString()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("keyString collision: %v and %v both map to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"2.5", Float(2.5)},
+		{"'ERC'", Str("ERC")},
+		{`"NSF"`, Str("NSF")},
+		{"hello", Str("hello")},
+		{"  13 ", Int(13)},
+	}
+	for _, c := range cases {
+		got := ParseValue(c.in)
+		if !got.Equal(c.want) || got.Kind != c.want.Kind {
+			t.Errorf("ParseValue(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindString.String() != "string" || KindFloat.String() != "float" {
+		t.Error("kind names are wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int(3).AsFloat() != 3.0")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float(2.5).AsFloat() != 2.5")
+	}
+	if Str("x").AsFloat() != 0 {
+		t.Error("Str.AsFloat() should be 0")
+	}
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testCfg is a fast configuration for CI: tiny datasets, small SAT budget.
+func testCfg() Config {
+	return Config{
+		MASScale:    0.01,
+		TPCHScale:   0.005,
+		Rows:        600,
+		Errors:      24,
+		Seed:        1,
+		IndMaxNodes: 150000,
+		// The paper's ladder scaled to 600 rows (same 2%-20% error rates).
+		ErrorLevels: []int{12, 24, 36, 60, 84, 120},
+	}
+}
+
+func TestRunMASAndTable3(t *testing.T) {
+	runs, ds, err := RunMAS(testCfg(), []int{1, 2, 3, 4, 5, 8, 16, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds == nil || len(runs) != 8 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	rows := Table3(runs)
+	byProg := map[string]Table3Row{}
+	for _, r := range rows {
+		byProg[r.Program] = r
+		// Prop. 3.20 invariants must hold on every row.
+		if !r.StageInEnd || !r.StepInEnd {
+			t.Fatalf("program %s: containment invariant violated: %+v", r.Program, r)
+		}
+	}
+	// Paper Table 3 flags that are data-independent:
+	// program 2: no containment of Ind; Step = Stage.
+	if r := byProg["2"]; !r.StepEqStage || r.IndInStage || r.IndInStep {
+		t.Fatalf("program 2 flags wrong: %+v", r)
+	}
+	// programs 3, 4: Step != Stage, Ind contained in both.
+	for _, n := range []string{"3", "4"} {
+		if r := byProg[n]; r.StepEqStage || !r.IndInStage || !r.IndInStep {
+			t.Fatalf("program %s flags wrong: %+v", n, r)
+		}
+	}
+	// program 8: Step != Stage, Ind ⊆ Step only.
+	if r := byProg["8"]; r.StepEqStage || r.IndInStage || !r.IndInStep {
+		t.Fatalf("program 8 flags wrong: %+v", r)
+	}
+	// programs 5, 16, 20: everything coincides.
+	for _, n := range []string{"5", "16", "20"} {
+		if r := byProg[n]; !r.StepEqStage || !r.IndInStage || !r.IndInStep {
+			t.Fatalf("program %s flags wrong: %+v", n, r)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Ind ⊆ Stage") {
+		t.Fatalf("table rendering wrong:\n%s", buf.String())
+	}
+}
+
+func TestSizesAndTimes(t *testing.T) {
+	runs, _, err := RunMAS(testCfg(), []int{4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := Sizes(runs)
+	if len(sizes) != 2 {
+		t.Fatal("size rows missing")
+	}
+	// Program 4 (Figure 6a note): end/stage = org's authors + 1, step/ind = 1.
+	if sizes[0].Ind != 1 || sizes[0].Step != 1 || sizes[0].End <= 1 || sizes[0].Stage != sizes[0].End {
+		t.Fatalf("program 4 sizes wrong: %+v", sizes[0])
+	}
+	// Program 10: all semantics identical (Figure 6a note: 24,798 at paper
+	// scale — all equal).
+	if !(sizes[1].Ind == sizes[1].Step && sizes[1].Step == sizes[1].Stage && sizes[1].Stage == sizes[1].End) {
+		t.Fatalf("program 10 sizes should all match: %+v", sizes[1])
+	}
+	times := Times(runs)
+	if len(times) != 2 || times[0].End <= 0 {
+		t.Fatalf("time rows wrong: %+v", times)
+	}
+	var buf bytes.Buffer
+	WriteSizes(&buf, "Figure 6a", sizes)
+	WriteTimes(&buf, "Figure 7", times)
+	if !strings.Contains(buf.String(), "Figure 6a") || !strings.Contains(buf.String(), "End (ms)") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	runs, _, err := RunMAS(testCfg(), []int{5, 16, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Breakdown(runs, "sample", func(*ProgramRun) bool { return true })
+	if len(rows) != 2 {
+		t.Fatalf("breakdown rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.EvalPct + r.ProcessPct + r.FinalPct
+		if sum < 99.0 || sum > 101.0 {
+			t.Fatalf("%s shares sum to %.1f%%", r.Algorithm, sum)
+		}
+	}
+	if Breakdown(runs, "none", func(*ProgramRun) bool { return false }) != nil {
+		t.Fatal("empty group should return nil")
+	}
+	var buf bytes.Buffer
+	WriteBreakdown(&buf, rows)
+	if !strings.Contains(buf.String(), "Algorithm 1") {
+		t.Fatal("render missing Algorithm 1")
+	}
+}
+
+func TestRunTPCH(t *testing.T) {
+	runs, ds, err := RunTPCH(testCfg(), []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumLineItems == 0 || len(runs) != 2 {
+		t.Fatal("TPC-H runs missing")
+	}
+	for _, r := range runs {
+		c := core.CheckContainment(r.Results)
+		if !c.StageInEnd || !c.StepInEnd {
+			t.Fatalf("%s: invariants violated", r.Label)
+		}
+	}
+	// T-2: Ind ⊆ Stage holds (paper Table 3 row T-2: all yes).
+	rows := Table3(runs)
+	if !rows[0].StepEqStage || !rows[0].IndInStage {
+		t.Fatalf("T-2 flags wrong: %+v", rows[0])
+	}
+}
+
+func TestTables4And5Shapes(t *testing.T) {
+	// Use a smaller ladder for CI speed by shrinking rows; the shapes must
+	// still hold: Ind ≈ 0 over-deletion, Stage = End > Step ≥ Ind,
+	// HoloClean negative and worsening.
+	cfg := testCfg()
+	t4, t5, err := Tables4And5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4) != len(cfg.ErrorLevels) || len(t5) != len(cfg.ErrorLevels) {
+		t.Fatalf("rows: %d/%d", len(t4), len(t5))
+	}
+	for i, r := range t4 {
+		if r.OverInd < 0 || r.OverStep < 0 || r.OverStage < 0 {
+			t.Fatalf("row %d: negative over-deletion: %+v", i, r)
+		}
+		// Ind stays within a whisker of the minimum even when the solver
+		// budget is exhausted (greedy seeding), and the operational
+		// semantics over-delete progressively more.
+		if r.OverInd > 2+r.Errors/20 {
+			t.Fatalf("row %d: independent over-deletion too large: %+v", i, r)
+		}
+		if r.OverStep > r.OverStage {
+			t.Fatalf("row %d: step should not over-delete beyond stage here: %+v", i, r)
+		}
+		if r.OverStage != r.OverEnd {
+			t.Fatalf("row %d: stage and end should over-delete equally on DCs: %+v", i, r)
+		}
+		if r.HoloDelta > 0 {
+			t.Fatalf("row %d: HoloClean cannot repair more tuples than errors: %+v", i, r)
+		}
+	}
+	// Under-repair worsens as errors grow (compare first vs last level).
+	first, last := t4[0], t4[len(t4)-1]
+	if !(last.HoloDelta < first.HoloDelta) {
+		t.Fatalf("HoloClean under-repair should worsen: first %+v last %+v", first, last)
+	}
+	// End over-deletion grows with errors.
+	if !(last.OverEnd > first.OverEnd) {
+		t.Fatalf("End over-deletion should grow: first %+v last %+v", first, last)
+	}
+	for i, r := range t5 {
+		if r.SemanticsTotalAfter != 0 {
+			t.Fatalf("row %d: semantics left violations: %+v", i, r)
+		}
+		if r.TotalBefore == 0 {
+			t.Fatalf("row %d: no violations before repair", i)
+		}
+		if r.HoloTotalAfter > r.TotalBefore {
+			t.Fatalf("row %d: HoloClean increased violations: %+v", i, r)
+		}
+	}
+	// At the highest error level HoloClean leaves residual violations.
+	if t5[len(t5)-1].HoloTotalAfter == 0 {
+		t.Fatal("HoloClean should leave residual violations at high error rates")
+	}
+	var buf bytes.Buffer
+	WriteTable4(&buf, t4)
+	WriteTable5(&buf, t5)
+	out := buf.String()
+	if !strings.Contains(out, "HoloClean") || !strings.Contains(out, "Semantics Total") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig10Sweeps(t *testing.T) {
+	cfg := testCfg()
+	rows, err := Fig10Errors(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.ErrorLevels) {
+		t.Fatalf("fig10a rows = %d", len(rows))
+	}
+	rrows, err := Fig10Rows(cfg, []int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrows) != 2 || rrows[0].X != 300 {
+		t.Fatalf("fig10b rows = %+v", rrows)
+	}
+	var buf bytes.Buffer
+	WriteFig10(&buf, "Errors", rows)
+	WriteFig10(&buf, "Rows", rrows)
+	if !strings.Contains(buf.String(), "HoloClean (ms)") {
+		t.Fatal("render missing HoloClean column")
+	}
+}
+
+func TestTriggerComparison(t *testing.T) {
+	rows, err := TriggerComparison(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(TriggerPrograms) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byProg := map[string]TriggerRow{}
+	for _, r := range rows {
+		byProg[r.Program] = r
+	}
+	// Program 4: order-dependent (the paper's PostgreSQL-vs-MySQL anomaly).
+	if !byProg["4"].OrderDependent {
+		t.Fatalf("program 4 should be order dependent: %+v", byProg["4"])
+	}
+	// Program 5 and 20 (pure cascades): same result under both policies,
+	// equal to the semantics.
+	for _, n := range []string{"5", "20"} {
+		r := byProg[n]
+		if r.OrderDependent {
+			t.Fatalf("program %s should be order independent: %+v", n, r)
+		}
+		if r.PGDeleted != r.End {
+			t.Fatalf("program %s: triggers %d != end %d", n, r.PGDeleted, r.End)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTriggerComparison(&buf, rows)
+	if !strings.Contains(buf.String(), "Order-dep") {
+		t.Fatal("render missing order column")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("ablation rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Ablation {
+		case "step: no benefit ordering":
+			if r.AblSize < r.FullSize {
+				t.Fatalf("benefit ordering should not hurt size: %+v", r)
+			}
+		case "independent: greedy-only solver":
+			if r.AblSize < r.FullSize {
+				t.Fatalf("full search should not be beaten by greedy: %+v", r)
+			}
+		case "end: naive evaluation":
+			if r.AblSize != r.FullSize {
+				t.Fatalf("naive evaluation must match: %+v", r)
+			}
+		}
+	}
+	// The benefit heuristic must matter on program 4: ablated greedy
+	// deletes the authors instead of the single organization.
+	found := false
+	for _, r := range rows {
+		if r.Ablation == "step: no benefit ordering" && r.Program == "4" && r.AblSize > r.FullSize {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("program 4 should demonstrate the benefit heuristic's value")
+	}
+	var buf bytes.Buffer
+	WriteAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablated size") {
+		t.Fatal("render missing header")
+	}
+}

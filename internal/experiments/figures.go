@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SizeRow is one bar group of Figure 6 or 9a: result sizes per semantics.
+type SizeRow struct {
+	Program string
+	Ind     int
+	Step    int
+	Stage   int
+	End     int
+}
+
+// Sizes extracts the size rows of Figures 6a/6b/6c and 9a from runs.
+func Sizes(runs []*ProgramRun) []SizeRow {
+	out := make([]SizeRow, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, SizeRow{
+			Program: r.Label,
+			Ind:     r.Results[core.SemIndependent].Size(),
+			Step:    r.Results[core.SemStep].Size(),
+			Stage:   r.Results[core.SemStage].Size(),
+			End:     r.Results[core.SemEnd].Size(),
+		})
+	}
+	return out
+}
+
+// WriteSizes renders size rows (Figures 6 and 9a).
+func WriteSizes(w io.Writer, title string, rows []SizeRow) {
+	fmt.Fprintln(w, title)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Program\tInd\tStep\tStage\tEnd")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", r.Program, r.Ind, r.Step, r.Stage, r.End)
+	}
+	tw.Flush()
+}
+
+// TimeRow is one group of Figure 7 or 9b: per-semantics execution time.
+type TimeRow struct {
+	Program string
+	Ind     time.Duration
+	Step    time.Duration
+	Stage   time.Duration
+	End     time.Duration
+}
+
+// Times extracts the runtime rows of Figures 7 and 9b from runs.
+func Times(runs []*ProgramRun) []TimeRow {
+	out := make([]TimeRow, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, TimeRow{
+			Program: r.Label,
+			Ind:     r.Results[core.SemIndependent].Timing.Total(),
+			Step:    r.Results[core.SemStep].Timing.Total(),
+			Stage:   r.Results[core.SemStage].Timing.Total(),
+			End:     r.Results[core.SemEnd].Timing.Total(),
+		})
+	}
+	return out
+}
+
+// WriteTimes renders runtime rows in milliseconds (Figures 7 and 9b).
+func WriteTimes(w io.Writer, title string, rows []TimeRow) {
+	fmt.Fprintln(w, title)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Program\tInd (ms)\tStep (ms)\tStage (ms)\tEnd (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", r.Program,
+			ms(r.Ind), ms(r.Step), ms(r.Stage), ms(r.End))
+	}
+	tw.Flush()
+}
+
+// BreakdownRow aggregates Figure 8: the average share of each phase of
+// Algorithm 1 (independent) or Algorithm 2 (step) over a program group.
+type BreakdownRow struct {
+	Algorithm string // "Algorithm 1" or "Algorithm 2"
+	Group     string // "programs 1-15" or "programs 16-20"
+	// Phase shares in percent (0-100): Eval, ProcessProv, and Solve (Alg 1)
+	// or Traverse (Alg 2).
+	EvalPct, ProcessPct, FinalPct float64
+}
+
+// Breakdown computes Figure 8's phase shares for the given program group.
+func Breakdown(runs []*ProgramRun, group string, filter func(*ProgramRun) bool) []BreakdownRow {
+	var indEval, indProc, indSolve time.Duration
+	var stepEval, stepProc, stepTrav time.Duration
+	n := 0
+	for _, r := range runs {
+		if !filter(r) {
+			continue
+		}
+		n++
+		it := r.Results[core.SemIndependent].Timing
+		indEval += it.Eval
+		indProc += it.ProcessProv
+		indSolve += it.Solve
+		st := r.Results[core.SemStep].Timing
+		stepEval += st.Eval
+		stepProc += st.ProcessProv
+		stepTrav += st.Traverse
+	}
+	if n == 0 {
+		return nil
+	}
+	pct := func(part, total time.Duration) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(total)
+	}
+	indTotal := indEval + indProc + indSolve
+	stepTotal := stepEval + stepProc + stepTrav
+	return []BreakdownRow{
+		{
+			Algorithm: "Algorithm 1 (independent)", Group: group,
+			EvalPct: pct(indEval, indTotal), ProcessPct: pct(indProc, indTotal), FinalPct: pct(indSolve, indTotal),
+		},
+		{
+			Algorithm: "Algorithm 2 (step)", Group: group,
+			EvalPct: pct(stepEval, stepTotal), ProcessPct: pct(stepProc, stepTotal), FinalPct: pct(stepTrav, stepTotal),
+		},
+	}
+}
+
+// WriteBreakdown renders Figure 8 rows.
+func WriteBreakdown(w io.Writer, rows []BreakdownRow) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Algorithm\tGroup\tEval %\tProcess Prov %\tSolve/Traverse %")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.1f\n",
+			r.Algorithm, r.Group, r.EvalPct, r.ProcessPct, r.FinalPct)
+	}
+	tw.Flush()
+}

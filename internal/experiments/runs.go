@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/mas"
+	"repro/internal/programs"
+	"repro/internal/tpch"
+)
+
+// ProgramRun holds the four semantics' results for one test program.
+type ProgramRun struct {
+	// Label is the paper's program name: "1".."20" or "T-1".."T-6".
+	Label string
+	// Number is the program index within its suite.
+	Number int
+	// Class is the paper's program classification.
+	Class programs.Class
+	// Results maps each semantics to its result.
+	Results map[core.Semantics]*core.Result
+}
+
+// runProgram executes all four semantics over db.
+func runProgram(label string, number int, class programs.Class,
+	db *engine.Database, p *datalog.Program, indOpts core.IndependentOptions) (*ProgramRun, error) {
+
+	run := &ProgramRun{
+		Label:   label,
+		Number:  number,
+		Class:   class,
+		Results: make(map[core.Semantics]*core.Result, 4),
+	}
+	for _, sem := range core.AllSemantics {
+		res, _, err := core.RunWith(db, p, sem, core.Options{Independent: indOpts})
+		if err != nil {
+			return nil, fmt.Errorf("program %s, %s semantics: %w", label, sem, err)
+		}
+		run.Results[sem] = res
+	}
+	return run, nil
+}
+
+// RunMAS executes all four semantics on the selected MAS programs (nil
+// means all 20) over a dataset generated per the config.
+func RunMAS(cfg Config, selected []int) ([]*ProgramRun, *mas.Dataset, error) {
+	cfg = cfg.withDefaults()
+	ds := mas.Generate(mas.Config{Scale: cfg.MASScale, Seed: cfg.Seed})
+	if selected == nil {
+		for n := 1; n <= 20; n++ {
+			selected = append(selected, n)
+		}
+	}
+	var runs []*ProgramRun
+	for _, n := range selected {
+		p, err := programs.MAS(n, ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := runProgram(fmt.Sprint(n), n, programs.MASClass(n), ds.DB, p,
+			core.IndependentOptions{MaxNodes: cfg.IndMaxNodes})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, ds, nil
+}
+
+// RunTPCH executes all four semantics on the selected TPC-H programs (nil
+// means all 6).
+func RunTPCH(cfg Config, selected []int) ([]*ProgramRun, *tpch.Dataset, error) {
+	cfg = cfg.withDefaults()
+	ds := tpch.Generate(tpch.Config{Scale: cfg.TPCHScale, Seed: cfg.Seed})
+	if selected == nil {
+		selected = []int{1, 2, 3, 4, 5, 6}
+	}
+	var runs []*ProgramRun
+	for _, n := range selected {
+		p, err := programs.TPCH(n, ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := runProgram(fmt.Sprintf("T-%d", n), n, programs.TPCHClass(n), ds.DB, p,
+			core.IndependentOptions{MaxNodes: cfg.IndMaxNodes})
+		if err != nil {
+			return nil, nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, ds, nil
+}

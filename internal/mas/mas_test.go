@@ -1,0 +1,136 @@
+package mas
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestGenerateFullScaleCardinalities(t *testing.T) {
+	ds := Generate(Config{Scale: 1.0, Seed: 1})
+	if got := ds.Total(); got < 120000 || got > 128000 {
+		t.Fatalf("total tuples = %d, want ≈124K", got)
+	}
+	if ds.NumOrganizations != 600 {
+		t.Fatalf("orgs = %d, want 600", ds.NumOrganizations)
+	}
+	if ds.NumAuthors != 20000 {
+		t.Fatalf("authors = %d, want 20000", ds.NumAuthors)
+	}
+	if ds.NumWrites != 55000 {
+		t.Fatalf("writes = %d, want 55000", ds.NumWrites)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Config{Scale: 0.02, Seed: 7})
+	b := Generate(Config{Scale: 0.02, Seed: 7})
+	for _, rel := range a.DB.Schema.Names() {
+		ka, kb := a.DB.Relation(rel).Keys(), b.DB.Relation(rel).Keys()
+		if len(ka) != len(kb) {
+			t.Fatalf("%s: %d vs %d tuples", rel, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s[%d]: %s vs %s", rel, i, ka[i], kb[i])
+			}
+		}
+	}
+	// A different seed yields a different database.
+	c := Generate(Config{Scale: 0.02, Seed: 8})
+	same := true
+	ka, kc := a.DB.Relation("Writes").Keys(), c.DB.Relation("Writes").Keys()
+	if len(ka) == len(kc) {
+		for i := range ka {
+			if ka[i] != kc[i] {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds produced identical Writes relations")
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	ds := Generate(Config{Scale: 0.05, Seed: 3})
+	db := ds.DB
+	// Author.oid must reference an Organization.
+	bad := 0
+	db.Relation("Author").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Organization").LookupCount(0, tp.Vals[2]) == 0 {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d authors with dangling org references", bad)
+	}
+	// Writes.aid/pid must reference Author/Publication.
+	db.Relation("Writes").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Author").LookupCount(0, tp.Vals[0]) == 0 {
+			bad++
+		}
+		if db.Relation("Publication").LookupCount(0, tp.Vals[1]) == 0 {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d dangling Writes references", bad)
+	}
+	// Cite tuples never self-cite.
+	db.Relation("Cite").Scan(func(tp *engine.Tuple) bool {
+		if tp.Vals[0].Equal(tp.Vals[1]) {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d self-citations", bad)
+	}
+}
+
+func TestGenerateHubs(t *testing.T) {
+	ds := Generate(Config{Scale: 0.1, Seed: 2})
+	if ds.HubOrg != 1 || ds.HubAuthor != 1 || ds.HubPub != 1 {
+		t.Fatalf("hub ids wrong: %+v", ds)
+	}
+	// The hub org holds roughly 5% of authors: allow 3-8%.
+	frac := float64(ds.HubOrgAuthors) / float64(ds.NumAuthors)
+	if frac < 0.03 || frac > 0.08 {
+		t.Fatalf("hub org fraction = %.3f, want ≈0.05", frac)
+	}
+	// The hub author writes far more than the average author.
+	avg := float64(ds.NumWrites) / float64(ds.NumAuthors)
+	if float64(ds.HubAuthorWrites) < 4*avg {
+		t.Fatalf("hub author writes %d, average %.1f: not a hub", ds.HubAuthorWrites, avg)
+	}
+	// The hub pub is cited multiple times.
+	if n := ds.DB.Relation("Cite").LookupCount(1, engine.Int(1)); n < 5 {
+		t.Fatalf("hub pub citations = %d, want ≥5", n)
+	}
+	if ds.HubAuthorName != "author1" {
+		t.Fatalf("hub author name = %q", ds.HubAuthorName)
+	}
+}
+
+func TestGenerateDefaultScale(t *testing.T) {
+	ds := Generate(Config{Seed: 1, Scale: 0}) // 0 means 1.0
+	if ds.NumOrganizations != 600 {
+		t.Fatalf("default scale should be 1.0, got %d orgs", ds.NumOrganizations)
+	}
+}
+
+func TestGenerateTinyScale(t *testing.T) {
+	ds := Generate(Config{Scale: 0.001, Seed: 1})
+	// Every relation must be non-empty even at extreme downscaling.
+	for _, rel := range ds.DB.Schema.Names() {
+		if ds.DB.Relation(rel).Len() == 0 {
+			t.Fatalf("%s empty at tiny scale", rel)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package programs
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// RunningExampleSchema returns the academic schema of Figure 1.
+func RunningExampleSchema() *engine.Schema {
+	s := engine.NewSchema()
+	s.MustAddRelation("Grant", "g", "gid", "name")
+	s.MustAddRelation("AuthGrant", "ag", "aid", "gid")
+	s.MustAddRelation("Author", "a", "aid", "name")
+	s.MustAddRelation("Writes", "w", "aid", "pid")
+	s.MustAddRelation("Pub", "p", "pid", "title")
+	s.MustAddRelation("Cite", "c", "citing", "cited")
+	return s
+}
+
+// RunningExampleDB returns the database instance D of Figure 1.
+func RunningExampleDB() *engine.Database {
+	db := engine.NewDatabase(RunningExampleSchema())
+	db.MustInsert("Grant", engine.Int(1), engine.Str("NSF"))
+	db.MustInsert("Grant", engine.Int(2), engine.Str("ERC"))
+	db.MustInsert("AuthGrant", engine.Int(2), engine.Int(1))
+	db.MustInsert("AuthGrant", engine.Int(4), engine.Int(2))
+	db.MustInsert("AuthGrant", engine.Int(5), engine.Int(2))
+	db.MustInsert("Author", engine.Int(2), engine.Str("Maggie"))
+	db.MustInsert("Author", engine.Int(4), engine.Str("Marge"))
+	db.MustInsert("Author", engine.Int(5), engine.Str("Homer"))
+	db.MustInsert("Cite", engine.Int(7), engine.Int(6))
+	db.MustInsert("Writes", engine.Int(4), engine.Int(6))
+	db.MustInsert("Writes", engine.Int(5), engine.Int(7))
+	db.MustInsert("Pub", engine.Int(6), engine.Str("x"))
+	db.MustInsert("Pub", engine.Int(7), engine.Str("y"))
+	return db
+}
+
+// RunningExampleSource is the delta program of Figure 2.
+const RunningExampleSource = `
+(0) Delta_Grant(g, n) :- Grant(g, n), n = 'ERC'.
+(1) Delta_Author(a, n) :- Author(a, n), AuthGrant(a, g), Delta_Grant(g, gn).
+(2) Delta_Pub(p, t) :- Pub(p, t), Writes(a, p), Delta_Author(a, n).
+(3) Delta_Writes(a, p) :- Pub(p, t), Writes(a, p), Delta_Author(a, n).
+(4) Delta_Cite(c, p) :- Cite(c, p), Delta_Pub(p, t), Writes(a1, c), Writes(a2, p).
+`
+
+// RunningExampleProgram returns the validated delta program of Figure 2.
+func RunningExampleProgram() (*datalog.Program, error) {
+	return datalog.ParseAndValidate(RunningExampleSource, RunningExampleSchema())
+}

@@ -1,0 +1,112 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is the provenance graph of §5.2: for every derived delta tuple ∆(t)
+// it stores all assignments deriving it (as clauses), and the layer at
+// which ∆(t) is first derived (the round of the End-semantics evaluation;
+// cf. Figure 5 of the paper). Algorithm 2 traverses the graph layer by
+// layer, choosing tuples by benefit.
+type Graph struct {
+	// Heads lists derived delta tuple keys in first-derivation order.
+	Heads []string
+	// Assignments maps each head to its deduplicated deriving clauses.
+	Assignments map[string][]Clause
+	// Layer maps each head to its 1-based first-derivation layer.
+	Layer map[string]int
+	// NumLayers is the maximum layer.
+	NumLayers int
+
+	seen map[string]bool // per-head clause dedup
+}
+
+// NewGraph creates an empty provenance graph.
+func NewGraph() *Graph {
+	return &Graph{
+		Assignments: make(map[string][]Clause),
+		Layer:       make(map[string]int),
+		seen:        make(map[string]bool),
+	}
+}
+
+// AddDerivation records that clause derives ∆(head) at the given 1-based
+// layer. The layer is retained only for the first derivation of a head;
+// repeated identical clauses are dropped. It reports whether the clause was
+// recorded.
+func (g *Graph) AddDerivation(head string, layer int, c Clause) bool {
+	if _, known := g.Layer[head]; !known {
+		g.Heads = append(g.Heads, head)
+		g.Layer[head] = layer
+		if layer > g.NumLayers {
+			g.NumLayers = layer
+		}
+	}
+	key := head + "|" + c.CanonicalKey()
+	if g.seen[key] {
+		return false
+	}
+	g.seen[key] = true
+	g.Assignments[head] = append(g.Assignments[head], c)
+	return true
+}
+
+// LayerHeads returns the heads first derived at the given layer, in
+// derivation order.
+func (g *Graph) LayerHeads(layer int) []string {
+	var out []string
+	for _, h := range g.Heads {
+		if g.Layer[h] == layer {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NumAssignments returns the total number of recorded assignments.
+func (g *Graph) NumAssignments() int {
+	n := 0
+	for _, cs := range g.Assignments {
+		n += len(cs)
+	}
+	return n
+}
+
+// Benefits computes the benefit b_t of every base tuple t mentioned in the
+// graph: the number of assignments t participates in (positively) minus the
+// number of assignments ∆(t) participates in (as a delta dependency). This
+// is exactly the greedy score of Algorithm 2 — deleting a high-benefit
+// tuple voids many derivations while enabling few.
+func (g *Graph) Benefits() map[string]int {
+	b := make(map[string]int)
+	for _, cs := range g.Assignments {
+		for _, c := range cs {
+			for _, k := range c.Pos {
+				b[k]++
+			}
+			for _, k := range c.Neg {
+				b[k]--
+			}
+		}
+	}
+	return b
+}
+
+// String renders a per-layer summary for debugging, e.g.
+// "layer 1: Grant(...)[1 asn]".
+func (g *Graph) String() string {
+	var b strings.Builder
+	for l := 1; l <= g.NumLayers; l++ {
+		fmt.Fprintf(&b, "layer %d:", l)
+		heads := g.LayerHeads(l)
+		sort.Strings(heads)
+		for _, h := range heads {
+			fmt.Fprintf(&b, " %s[%d]", h, len(g.Assignments[h]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+// Package provenance implements the provenance representations of §5 of the
+// paper: Boolean-formula provenance (DNF per delta tuple, used by Algorithm
+// 1 for independent semantics) and the layered provenance graph with tuple
+// benefits (used by Algorithm 2 for step semantics).
+//
+// Throughout, tuples are identified by their engine content keys
+// ("Rel(v1,v2)"); a delta tuple ∆(t) is identified by t's key — delta
+// relations share content with their base relations, so no separate key
+// space is needed.
+package provenance
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Clause is the provenance of one assignment α: the conjunction of the base
+// tuples α binds positively (Pos, "must be present") and the base
+// counterparts of the delta tuples α binds (Neg, "must have been deleted").
+// In formula terms the clause is  t₁ ∧ … ∧ tₖ ∧ ¬d₁ ∧ … ∧ ¬dₘ  where
+// negated variables stand for deleted tuples (§5.1).
+type Clause struct {
+	Pos []string
+	Neg []string
+}
+
+// ClauseOf extracts the provenance clause of an assignment: tuples bound to
+// non-delta body atoms go to Pos, tuples bound to delta atoms to Neg.
+// Duplicates (the same tuple bound by several atoms) are removed, and a
+// tuple bound both positively and as a delta yields both entries (the
+// clause is then unsatisfiable in any consistent state, but Algorithm 1's
+// negation handles it soundly).
+func ClauseOf(asn *datalog.Assignment) Clause {
+	var c Clause
+	seenPos := make(map[string]bool, len(asn.Tuples))
+	seenNeg := make(map[string]bool, 2)
+	for i, tp := range asn.Tuples {
+		key := tp.Key()
+		if asn.Rule.Body[i].Delta {
+			if !seenNeg[key] {
+				seenNeg[key] = true
+				c.Neg = append(c.Neg, key)
+			}
+		} else if !seenPos[key] {
+			seenPos[key] = true
+			c.Pos = append(c.Pos, key)
+		}
+	}
+	return c
+}
+
+// CanonicalKey returns a canonical string identifying the clause content,
+// used to deduplicate assignments that bind the same tuple multiset.
+func (c Clause) CanonicalKey() string {
+	pos := append([]string(nil), c.Pos...)
+	neg := append([]string(nil), c.Neg...)
+	sort.Strings(pos)
+	sort.Strings(neg)
+	var b strings.Builder
+	for _, k := range pos {
+		b.WriteByte('+')
+		b.WriteString(k)
+	}
+	for _, k := range neg {
+		b.WriteByte('-')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// String renders the clause as a conjunction, e.g. "g2 ∧ ¬a2".
+func (c Clause) String() string {
+	var parts []string
+	for _, k := range c.Pos {
+		parts = append(parts, k)
+	}
+	for _, k := range c.Neg {
+		parts = append(parts, "¬"+k)
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Formula is the flat provenance of all possible delta tuples: one clause
+// per assignment, the disjunction of which is the formula F of Algorithm 1.
+// Heads records the delta tuple each clause derives (parallel to Clauses);
+// Algorithm 1 itself only needs the clause bodies, but heads are kept for
+// reporting and tests.
+type Formula struct {
+	Clauses []Clause
+	Heads   []string
+
+	seen map[string]bool // canonical clause+head dedup
+}
+
+// NewFormula creates an empty provenance formula.
+func NewFormula() *Formula {
+	return &Formula{seen: make(map[string]bool)}
+}
+
+// Add records the clause deriving head, deduplicating exact repeats. It
+// reports whether the clause was new.
+func (f *Formula) Add(head string, c Clause) bool {
+	key := head + "|" + c.CanonicalKey()
+	if f.seen[key] {
+		return false
+	}
+	f.seen[key] = true
+	f.Clauses = append(f.Clauses, c)
+	f.Heads = append(f.Heads, head)
+	return true
+}
+
+// Len returns the number of clauses.
+func (f *Formula) Len() int { return len(f.Clauses) }
+
+// TupleKeys returns every distinct tuple key mentioned in the formula
+// (positively or negatively), in first-occurrence order.
+func (f *Formula) TupleKeys() []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, c := range f.Clauses {
+		for _, k := range c.Pos {
+			add(k)
+		}
+		for _, k := range c.Neg {
+			add(k)
+		}
+	}
+	return out
+}

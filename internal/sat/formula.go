@@ -1,0 +1,130 @@
+// Package sat implements a deterministic Min-Ones-SAT solver: given a CNF
+// formula, find a satisfying assignment mapping the minimum number of
+// variables to true.
+//
+// The paper's Algorithm 1 negates the provenance formula of all possible
+// delta tuples and feeds it to the Z3 optimizing SMT solver; this package is
+// the offline substitution. It is exact when the branch-and-bound search
+// completes within its node budget; when the budget runs out it returns the
+// best satisfying assignment found so far (which still yields a stabilizing
+// set, per the paper's remark that any satisfying assignment stabilizes the
+// database).
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a CNF formula over variables 1..NumVars. Literals are signed
+// integers: +v means "v is true", -v means "v is false". Duplicate clauses
+// are stored once (delta-rule provenance frequently derives the same CNF
+// clause from several rules or symmetric join orders).
+type Formula struct {
+	numVars int
+	clauses [][]int
+	seen    map[string]bool
+}
+
+// NewFormula creates a formula over numVars variables.
+func NewFormula(numVars int) *Formula {
+	return &Formula{numVars: numVars}
+}
+
+// NumVars returns the number of variables.
+func (f *Formula) NumVars() int { return f.numVars }
+
+// NumClauses returns the number of stored clauses (tautologies are dropped
+// at AddClause time).
+func (f *Formula) NumClauses() int { return len(f.clauses) }
+
+// AddVar adds a fresh variable and returns its 1-based index.
+func (f *Formula) AddVar() int {
+	f.numVars++
+	return f.numVars
+}
+
+// AddClause adds a disjunction of literals. Duplicate literals are removed;
+// tautological clauses (v ∨ ¬v) are dropped. An empty clause makes the
+// formula unsatisfiable and is stored as such.
+func (f *Formula) AddClause(lits ...int) error {
+	seen := make(map[int]bool, len(lits))
+	clause := make([]int, 0, len(lits))
+	for _, l := range lits {
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if l == 0 || v > f.numVars {
+			return fmt.Errorf("sat: literal %d out of range (numVars=%d)", l, f.numVars)
+		}
+		if seen[-l] {
+			return nil // tautology: always satisfied
+		}
+		if !seen[l] {
+			seen[l] = true
+			clause = append(clause, l)
+		}
+	}
+	sort.Ints(clause)
+	if f.seen == nil {
+		f.seen = make(map[string]bool)
+	}
+	var key strings.Builder
+	for _, l := range clause {
+		fmt.Fprintf(&key, "%d,", l)
+	}
+	if f.seen[key.String()] {
+		return nil // duplicate clause
+	}
+	f.seen[key.String()] = true
+	f.clauses = append(f.clauses, clause)
+	return nil
+}
+
+// Clause returns the i-th stored clause (shared slice; do not mutate).
+func (f *Formula) Clause(i int) []int { return f.clauses[i] }
+
+// Eval reports whether the assignment (1-based; assignment[v] is v's value)
+// satisfies every clause.
+func (f *Formula) Eval(assignment []bool) bool {
+	for _, c := range f.clauses {
+		ok := false
+		for _, l := range c {
+			if l > 0 && assignment[l] || l < 0 && !assignment[-l] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the number of true variables in the assignment.
+func CountOnes(assignment []bool) int {
+	n := 0
+	for _, b := range assignment {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// DIMACS renders the formula in DIMACS CNF format (for debugging and for
+// feeding external solvers).
+func (f *Formula) DIMACS() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", f.numVars, len(f.clauses))
+	for _, c := range f.clauses {
+		for _, l := range c {
+			fmt.Fprintf(&b, "%d ", l)
+		}
+		b.WriteString("0\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMinWeight computes the exact minimum-weight satisfying assignment
+// by enumeration; -1 when unsatisfiable.
+func bruteMinWeight(f *Formula, weights []int64) int64 {
+	n := f.NumVars()
+	best := int64(-1)
+	asn := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		var cost int64
+		for v := 1; v <= n; v++ {
+			asn[v] = mask&(1<<(v-1)) != 0
+			if asn[v] {
+				w := int64(1)
+				if weights != nil && v < len(weights) && weights[v] > 0 {
+					w = weights[v]
+				}
+				cost += w
+			}
+		}
+		if f.Eval(asn) && (best < 0 || cost < best) {
+			best = cost
+		}
+	}
+	return best
+}
+
+func TestWeightedFlipsTheOptimum(t *testing.T) {
+	// (x1 ∨ x2): uniform weights pick either; weight(x1)=5 forces x2.
+	f := NewFormula(2)
+	f.AddClause(1, 2)
+	res := MinOnes(f, Options{Weights: []int64{0, 5, 1}})
+	if !res.Satisfiable || !res.Optimal {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.WeightedCost != 1 || res.Assignment[1] || !res.Assignment[2] {
+		t.Fatalf("weighted optimum wrong: %+v", res)
+	}
+}
+
+func TestWeightedHubVsLeaves(t *testing.T) {
+	// Star cover: hub 1 covers clauses (1∨v) for v=2..6. Uniform weights
+	// pick the hub (cost 1). Hub weight 10 > 5 leaves -> pick the leaves.
+	build := func() *Formula {
+		f := NewFormula(6)
+		for v := 2; v <= 6; v++ {
+			f.AddClause(1, v)
+		}
+		return f
+	}
+	uniform := MinOnes(build(), Options{})
+	if uniform.Cost != 1 || !uniform.Assignment[1] {
+		t.Fatalf("uniform should pick the hub: %+v", uniform)
+	}
+	heavy := MinOnes(build(), Options{Weights: []int64{0, 10, 1, 1, 1, 1, 1}})
+	if heavy.WeightedCost != 5 || heavy.Assignment[1] {
+		t.Fatalf("heavy hub should push to leaves: %+v", heavy)
+	}
+	// And a 4-weight hub is still cheaper than 5 leaves.
+	mid := MinOnes(build(), Options{Weights: []int64{0, 4, 1, 1, 1, 1, 1}})
+	if mid.WeightedCost != 4 || !mid.Assignment[1] {
+		t.Fatalf("4-weight hub should win: %+v", mid)
+	}
+}
+
+func TestWeightedUniformMatchesUnweighted(t *testing.T) {
+	f := NewFormula(4)
+	f.AddClause(1, 2)
+	f.AddClause(2, 3)
+	f.AddClause(3, 4)
+	a := MinOnes(f, Options{})
+	b := MinOnes(f, Options{Weights: []int64{0, 1, 1, 1, 1}})
+	if a.Cost != b.Cost || b.WeightedCost != int64(a.Cost) {
+		t.Fatalf("uniform weights diverge: %+v vs %+v", a, b)
+	}
+}
+
+func TestWeightedAgainstBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + rng.Intn(7)
+		f := NewFormula(n)
+		m := 1 + rng.Intn(3*n)
+		for c := 0; c < m; c++ {
+			k := 1 + rng.Intn(3)
+			lits := make([]int, 0, k)
+			for i := 0; i < k; i++ {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				lits = append(lits, v)
+			}
+			f.AddClause(lits...)
+		}
+		weights := make([]int64, n+1)
+		for v := 1; v <= n; v++ {
+			weights[v] = int64(1 + rng.Intn(9))
+		}
+		want := bruteMinWeight(f, weights)
+		res := MinOnes(f, Options{Weights: weights})
+		if want < 0 {
+			if res.Satisfiable {
+				t.Fatalf("iter %d: found solution for unsat formula", iter)
+			}
+			continue
+		}
+		if !res.Satisfiable || !res.Optimal {
+			t.Fatalf("iter %d: incomplete on tiny formula: %+v", iter, res)
+		}
+		if res.WeightedCost != want {
+			t.Fatalf("iter %d: weighted cost %d, brute force %d\n%s",
+				iter, res.WeightedCost, want, f.DIMACS())
+		}
+		if !f.Eval(res.Assignment) {
+			t.Fatalf("iter %d: assignment does not satisfy", iter)
+		}
+	}
+}
+
+func TestWeightedNonPositiveAndShortWeights(t *testing.T) {
+	// Zero/negative weights and short slices default to 1 per variable.
+	f := NewFormula(3)
+	f.AddClause(1, 2, 3)
+	res := MinOnes(f, Options{Weights: []int64{0, -5}})
+	if !res.Satisfiable || res.WeightedCost != 1 {
+		t.Fatalf("defaulted weights wrong: %+v", res)
+	}
+}

@@ -1,0 +1,327 @@
+// Package sideeffect implements the source side-effect variant of deletion
+// propagation, combined with delta programs as the paper proposes (§7,
+// "Deletion propagation"): given a conjunctive-query view, a view tuple to
+// remove, and a delta program describing the database's repair cascades,
+// find the cheapest set of source deletions that (a) removes the view
+// tuple and (b) leaves the database stable — counting the cascade cost the
+// delta program imposes.
+//
+// The solver reduces to the same Min-Ones-SAT machinery as the paper's
+// Algorithm 1: every witness (assignment deriving the view tuple) becomes
+// a clause "delete at least one witness tuple", and the delta program's
+// positivized provenance contributes its stability clauses; minimizing
+// true variables minimizes total deletions including cascades.
+package sideeffect
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/provenance"
+	"repro/internal/sat"
+)
+
+// View is a conjunctive query over base relations: Head(X) :- Body....
+// It reuses the datalog machinery with an ordinary (non-delta) head; body
+// atoms must be non-delta.
+type View struct {
+	// Name is the view's output relation name (display only).
+	Name string
+	// HeadVars are the distinguished variables, in output-column order.
+	HeadVars []string
+	// Body holds the base atoms.
+	Body []datalog.Atom
+	// Comps holds comparison predicates.
+	Comps []datalog.Comparison
+
+	rule *datalog.Rule // internal evaluation vehicle
+}
+
+// ParseView parses "Name(x, y) :- R(x, z), S(z, y), x < 5." into a View.
+// The head relation name is arbitrary (it names the view); body atoms must
+// be base atoms from the schema.
+func ParseView(src string, schema *engine.Schema) (*View, error) {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Rules) != 1 {
+		return nil, fmt.Errorf("sideeffect: a view is a single rule, got %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	v := &View{Name: r.Head.Rel}
+	for _, t := range r.Head.Terms {
+		if !t.IsVar() {
+			return nil, fmt.Errorf("sideeffect: view head terms must be variables, got %s", t)
+		}
+		v.HeadVars = append(v.HeadVars, t.Var)
+	}
+	bound := make(map[string]bool)
+	for _, a := range r.Body {
+		if a.Delta {
+			return nil, fmt.Errorf("sideeffect: view bodies must not contain delta atoms (%s)", a)
+		}
+		if schema != nil {
+			rs := schema.Relation(a.Rel)
+			if rs == nil {
+				return nil, fmt.Errorf("sideeffect: unknown relation %q", a.Rel)
+			}
+			if rs.Arity() != len(a.Terms) {
+				return nil, fmt.Errorf("sideeffect: atom %s arity mismatch", a)
+			}
+		}
+		for _, t := range a.Terms {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+		v.Body = append(v.Body, a)
+	}
+	for _, hv := range v.HeadVars {
+		if !bound[hv] {
+			return nil, fmt.Errorf("sideeffect: head variable %s not bound in body", hv)
+		}
+	}
+	v.Comps = r.Comps
+	v.buildRule()
+	return v, nil
+}
+
+// buildRule assembles the internal evaluation rule. Views have ordinary
+// heads, so the delta-rule self-atom requirement does not apply; we bypass
+// Validate and compile the rule directly by marking SelfIdx on a synthetic
+// basis (EvalRule only needs SelfIdx ≥ 0 to run; Head() is meaningless for
+// views and unused).
+func (v *View) buildRule() {
+	v.rule = datalog.NewRule(v.Name,
+		datalog.Atom{Delta: true, Rel: v.Body[0].Rel, Terms: v.Body[0].Terms},
+		v.Body, v.Comps...)
+	v.rule.SelfIdx = 0
+}
+
+// Row is one output tuple of the view.
+type Row struct {
+	Values []engine.Value
+	// Witnesses lists, per witness assignment, the base tuples involved.
+	Witnesses [][]*engine.Tuple
+}
+
+// Key renders the row's values for matching.
+func (r *Row) Key() string { return engine.ContentKey("view", r.Values) }
+
+// Eval computes the view over the database's live base relations,
+// grouping witness assignments by output row.
+func (v *View) Eval(db *engine.Database) ([]*Row, error) {
+	varIdx := make(map[string]int, len(v.HeadVars))
+	for i, hv := range v.HeadVars {
+		varIdx[hv] = i
+	}
+	rows := make(map[string]*Row)
+	var order []string
+	err := datalog.EvalRule(v.rule, datalog.SourcesFor(db, v.rule, datalog.DeltaFromBase), func(asn *datalog.Assignment) bool {
+		// Project the head variables out of the assignment.
+		vals := make([]engine.Value, len(v.HeadVars))
+		for bi, a := range v.Body {
+			for col, t := range a.Terms {
+				if t.IsVar() {
+					if i, ok := varIdx[t.Var]; ok {
+						vals[i] = asn.Tuples[bi].Vals[col]
+					}
+				}
+			}
+		}
+		key := engine.ContentKey("view", vals)
+		row := rows[key]
+		if row == nil {
+			row = &Row{Values: vals}
+			rows[key] = row
+			order = append(order, key)
+		}
+		row.Witnesses = append(row.Witnesses, asn.Tuples)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Row, 0, len(order))
+	for _, k := range order {
+		out = append(out, rows[k])
+	}
+	return out, nil
+}
+
+// Options tunes the side-effect solver.
+type Options struct {
+	// MaxNodes is the Min-Ones-SAT budget (0 = solver default).
+	MaxNodes int64
+	// MaxClauses caps the stability formula (0 = core default).
+	MaxClauses int
+}
+
+// Result reports a side-effect solution.
+type Result struct {
+	// Deleted is the chosen source deletion set (including cascades), in
+	// deterministic order.
+	Deleted []*engine.Tuple
+	// Optimal reports whether the solver proved minimality.
+	Optimal bool
+	// ViewRowsBefore/After are the view cardinalities before and after.
+	ViewRowsBefore, ViewRowsAfter int
+	// Elapsed is the total solve time.
+	Elapsed time.Duration
+}
+
+// Size returns the number of deleted tuples.
+func (r *Result) Size() int { return len(r.Deleted) }
+
+// DeleteViewTuple finds a minimum set of base deletions that removes the
+// view row with the given values while keeping the database stable w.r.t.
+// the delta program, and returns it with the repaired database. The
+// program may be nil (pure deletion propagation, no cascade constraints).
+func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *datalog.Program, opts Options) (*Result, *engine.Database, error) {
+	start := time.Now()
+	rows, err := v.Eval(db)
+	if err != nil {
+		return nil, nil, err
+	}
+	targetKey := engine.ContentKey("view", target)
+	var row *Row
+	for _, r := range rows {
+		if r.Key() == targetKey {
+			row = r
+			break
+		}
+	}
+	if row == nil {
+		return nil, nil, fmt.Errorf("sideeffect: view has no row %v", target)
+	}
+
+	// Build the formula: per witness, delete at least one participating
+	// tuple; plus the program's stability clauses (Algorithm 1 form).
+	formula := provenance.NewFormula()
+	for _, w := range row.Witnesses {
+		c := provenance.Clause{}
+		seen := make(map[string]bool)
+		for _, tp := range w {
+			if !seen[tp.Key()] {
+				seen[tp.Key()] = true
+				// Witness tuples are "Neg" in Algorithm 1's encoding
+				// convention? No: the requirement is the *opposite* of a
+				// stability clause — we NEED one deletion per witness. We
+				// encode witnesses directly as positive SAT clauses below,
+				// so collect them as Pos here.
+				c.Pos = append(c.Pos, tp.Key())
+			}
+		}
+		formula.Add("view:"+targetKey, c)
+	}
+
+	maxClauses := opts.MaxClauses
+	if maxClauses <= 0 {
+		maxClauses = core.DefaultMaxClauses
+	}
+	stability := provenance.NewFormula()
+	if p != nil {
+		for _, r := range p.Rules {
+			var evalErr error
+			err := datalog.EvalRule(r, datalog.SourcesFor(db, r, datalog.DeltaFromBase), func(asn *datalog.Assignment) bool {
+				stability.Add(asn.Head().Key(), provenance.ClauseOf(asn))
+				if stability.Len() > maxClauses {
+					evalErr = fmt.Errorf("sideeffect: stability formula exceeded %d clauses", maxClauses)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if evalErr != nil {
+				return nil, nil, evalErr
+			}
+		}
+	}
+
+	// Variable space: all tuples mentioned anywhere.
+	varOf := make(map[string]int)
+	keys := []string{}
+	intern := func(k string) int {
+		if id, ok := varOf[k]; ok {
+			return id
+		}
+		id := len(keys) + 1
+		varOf[k] = id
+		keys = append(keys, k)
+		return id
+	}
+	var clauses [][]int
+	for _, c := range formula.Clauses {
+		lits := make([]int, 0, len(c.Pos))
+		for _, k := range c.Pos {
+			lits = append(lits, intern(k)) // witness: delete one of these
+		}
+		clauses = append(clauses, lits)
+	}
+	for _, c := range stability.Clauses {
+		lits := make([]int, 0, len(c.Pos)+len(c.Neg))
+		for _, k := range c.Pos {
+			lits = append(lits, intern(k))
+		}
+		for _, k := range c.Neg {
+			lits = append(lits, -intern(k))
+		}
+		clauses = append(clauses, lits)
+	}
+	cnf := sat.NewFormula(len(keys))
+	for _, lits := range clauses {
+		if err := cnf.AddClause(lits...); err != nil {
+			return nil, nil, err
+		}
+	}
+	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes})
+	if !solved.Satisfiable {
+		return nil, nil, fmt.Errorf("sideeffect: no deletion set removes the view tuple")
+	}
+
+	work := db.Clone()
+	var deleted []*engine.Tuple
+	for i, k := range keys {
+		if solved.Assignment[i+1] {
+			t := work.Lookup(k)
+			if t == nil {
+				return nil, nil, fmt.Errorf("sideeffect: unknown tuple %s", k)
+			}
+			deleted = append(deleted, t)
+			work.DeleteToDelta(k)
+		}
+	}
+	// Verify: view tuple gone and (when a program is given) database stable.
+	after, err := v.Eval(work)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range after {
+		if r.Key() == targetKey {
+			return nil, nil, fmt.Errorf("sideeffect: internal error: view tuple survived")
+		}
+	}
+	if p != nil {
+		stable, err := core.CheckStable(work, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !stable {
+			return nil, nil, fmt.Errorf("sideeffect: internal error: repair not stable")
+		}
+	}
+	res := &Result{
+		Deleted:        deleted,
+		Optimal:        solved.Optimal,
+		ViewRowsBefore: len(rows),
+		ViewRowsAfter:  len(after),
+		Elapsed:        time.Since(start),
+	}
+	return res, work, nil
+}

@@ -1,0 +1,13 @@
+package sqlgen
+
+import (
+	"repro/internal/engine"
+	"repro/internal/mas"
+)
+
+// masDataset and masSchema provide a tiny MAS instance for trigger tests.
+func masDataset() *mas.Dataset {
+	return mas.Generate(mas.Config{Scale: 0.005, Seed: 1})
+}
+
+func masSchema() *engine.Schema { return mas.Schema() }

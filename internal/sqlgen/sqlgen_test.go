@@ -1,0 +1,222 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/programs"
+)
+
+func runningExample(t *testing.T) (*datalog.Program, *engine.Schema) {
+	t.Helper()
+	s := programs.RunningExampleSchema()
+	p, err := programs.RunningExampleProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestSchemaDDL(t *testing.T) {
+	_, s := runningExample(t)
+	ddl := SchemaDDL(s)
+	for _, want := range []string{
+		"CREATE TABLE grant (",
+		"CREATE TABLE delta_grant (",
+		"CREATE TABLE authgrant (",
+		"CREATE TABLE delta_cite (",
+		"PRIMARY KEY (gid, name)",
+		"PRIMARY KEY (citing, cited)",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// One base + one delta table per relation.
+	if got := strings.Count(ddl, "CREATE TABLE"); got != 2*len(s.Relations) {
+		t.Errorf("CREATE TABLE count = %d, want %d", got, 2*len(s.Relations))
+	}
+}
+
+func TestRuleQueryConditionRule(t *testing.T) {
+	p, s := runningExample(t)
+	q, err := RuleQuery(p.Rules[0], s) // ∆Grant(g, n) :- Grant(g, n), n = 'ERC'.
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"INSERT INTO delta_grant (gid, name)",
+		"SELECT DISTINCT t0.gid, t0.name",
+		"FROM grant t0",
+		"= 'ERC'",
+		"NOT EXISTS (SELECT 1 FROM delta_grant d",
+	} {
+		if !strings.Contains(q, want) {
+			t.Errorf("query missing %q:\n%s", want, q)
+		}
+	}
+}
+
+func TestRuleQueryJoinRule(t *testing.T) {
+	p, s := runningExample(t)
+	q, err := RuleQuery(p.Rules[1], s) // ∆Author :- Author, AuthGrant, ∆Grant.
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"INSERT INTO delta_author (aid, name)",
+		"FROM author t0, authgrant t1, delta_grant t2",
+		"t1.aid = t0.aid", // join on a
+		"t2.gid = t1.gid", // join on g through the delta table
+	} {
+		if !strings.Contains(q, want) {
+			t.Errorf("query missing %q:\n%s", want, q)
+		}
+	}
+}
+
+func TestRuleQueryComparisonsAndConstants(t *testing.T) {
+	s := engine.NewSchema()
+	s.MustAddRelation("N", "n", "v", "w")
+	p, err := datalog.ParseAndValidate(
+		`Delta_N(x, y) :- N(x, y), x < 10, y != 'bad\'quote'.`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := RuleQuery(p.Rules[0], s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "t0.v < 10") {
+		t.Errorf("comparison missing:\n%s", q)
+	}
+	if !strings.Contains(q, "t0.w <> 'bad''quote'") {
+		t.Errorf("escaped inequality missing:\n%s", q)
+	}
+}
+
+func TestProgramScript(t *testing.T) {
+	p, s := runningExample(t)
+	script, err := ProgramScript(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(script, "INSERT INTO delta_"); got != len(p.Rules) {
+		t.Errorf("INSERT count = %d, want %d", got, len(p.Rules))
+	}
+	// One sync DELETE per delta relation.
+	if got := strings.Count(script, "DELETE FROM"); got != len(p.DeltaRelations()) {
+		t.Errorf("sync DELETE count = %d, want %d", got, len(p.DeltaRelations()))
+	}
+	if !strings.Contains(script, "-- rule 0:") {
+		t.Error("script should carry rule comments")
+	}
+}
+
+func TestTriggerDDLPostgres(t *testing.T) {
+	p, s := runningExample(t)
+	ddl, err := TriggerDDL(p, s, Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CREATE FUNCTION trg_rule1_author_fn() RETURNS trigger",
+		"CREATE TRIGGER trg_rule1_author AFTER DELETE ON grant",
+		"FOR EACH ROW EXECUTE FUNCTION",
+		"OLD.gid", // the deleted grant row binds the delta atom
+		"-- rule 0 is an initial statement",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("Postgres DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// Rules 1-4 are triggers (one delta atom each); rule 0 is a comment.
+	if got := strings.Count(ddl, "CREATE TRIGGER"); got != 4 {
+		t.Errorf("trigger count = %d, want 4", got)
+	}
+}
+
+func TestTriggerDDLMySQL(t *testing.T) {
+	p, s := runningExample(t)
+	ddl, err := TriggerDDL(p, s, MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"DELIMITER //",
+		"CREATE TRIGGER trg_rule2_pub AFTER DELETE ON author",
+		"FOR EACH ROW",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("MySQL DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	if strings.Contains(ddl, "CREATE FUNCTION") {
+		t.Error("MySQL triggers must not use plpgsql functions")
+	}
+}
+
+func TestTriggerDDLRejectsMultiDelta(t *testing.T) {
+	s := engine.NewSchema()
+	s.MustAddRelation("R", "r", "a")
+	s.MustAddRelation("S", "s", "a")
+	s.MustAddRelation("T", "t", "a")
+	p, err := datalog.ParseAndValidate(
+		"Delta_R(x) :- R(x), Delta_S(x), Delta_T(x).", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TriggerDDL(p, s, Postgres); err == nil {
+		t.Fatal("multi-delta rule should be rejected")
+	}
+}
+
+func TestRuleQueryErrors(t *testing.T) {
+	s := engine.NewSchema()
+	s.MustAddRelation("R", "r", "a")
+	raw := datalog.MustParse("Delta_R(x) :- R(x).")
+	if _, err := RuleQuery(raw.Rules[0], s); err == nil {
+		t.Fatal("unvalidated rule should be rejected")
+	}
+	// Unknown relation in schema lookup.
+	other := engine.NewSchema()
+	other.MustAddRelation("Z", "z", "a")
+	p, err := datalog.ParseAndValidate("Delta_R(x) :- R(x).", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RuleQuery(p.Rules[0], other); err == nil {
+		t.Fatal("schema without the rule's relation should be rejected")
+	}
+	if _, err := ProgramScript(p, other); err == nil {
+		t.Fatal("ProgramScript should propagate rule errors")
+	}
+}
+
+func TestDialectString(t *testing.T) {
+	if Postgres.String() != "postgresql" || MySQL.String() != "mysql" {
+		t.Fatal("dialect names wrong")
+	}
+	if Dialect(9).String() == "" {
+		t.Fatal("unknown dialect should render")
+	}
+}
+
+func TestTriggerDDLForMASPrograms(t *testing.T) {
+	// Every paper trigger program (3, 4, 5, 8, 20) must render in both
+	// dialects.
+	ds := masDataset()
+	for _, n := range []int{3, 4, 5, 8, 20} {
+		p, err := programs.MAS(n, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []Dialect{Postgres, MySQL} {
+			if _, err := TriggerDDL(p, masSchema(), d); err != nil {
+				t.Errorf("program %d %v: %v", n, d, err)
+			}
+		}
+	}
+}

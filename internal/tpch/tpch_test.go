@@ -1,0 +1,127 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestGenerateFullScaleCardinalities(t *testing.T) {
+	ds := Generate(Config{Scale: 1.0, Seed: 1})
+	if got := ds.Total(); got < 370000 || got > 382000 {
+		t.Fatalf("total tuples = %d, want ≈376K", got)
+	}
+	// Standard TPC-H ratios: lineitem ≈ 4× orders; partsupp = 4× part.
+	if r := float64(ds.NumLineItems) / float64(ds.NumOrders); r < 3.5 || r > 4.5 {
+		t.Fatalf("lineitem/orders = %.2f, want ≈4", r)
+	}
+	if r := float64(ds.NumPartSupp) / float64(ds.NumParts); r < 3.5 || r > 4.5 {
+		t.Fatalf("partsupp/part = %.2f, want 4", r)
+	}
+	if ds.NumRegions != 5 || ds.NumNations != 25 {
+		t.Fatalf("regions/nations = %d/%d, want 5/25", ds.NumRegions, ds.NumNations)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Config{Scale: 0.01, Seed: 5})
+	b := Generate(Config{Scale: 0.01, Seed: 5})
+	for _, rel := range a.DB.Schema.Names() {
+		ka, kb := a.DB.Relation(rel).Keys(), b.DB.Relation(rel).Keys()
+		if len(ka) != len(kb) {
+			t.Fatalf("%s: %d vs %d tuples", rel, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s[%d]: %s vs %s", rel, i, ka[i], kb[i])
+			}
+		}
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	ds := Generate(Config{Scale: 0.02, Seed: 3})
+	db := ds.DB
+	bad := 0
+	db.Relation("Nation").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Region").LookupCount(0, tp.Vals[2]) == 0 {
+			bad++
+		}
+		return true
+	})
+	db.Relation("Supplier").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Nation").LookupCount(0, tp.Vals[2]) == 0 {
+			bad++
+		}
+		return true
+	})
+	db.Relation("Customer").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Nation").LookupCount(0, tp.Vals[2]) == 0 {
+			bad++
+		}
+		return true
+	})
+	db.Relation("PartSupp").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Part").LookupCount(0, tp.Vals[0]) == 0 {
+			bad++
+		}
+		if db.Relation("Supplier").LookupCount(0, tp.Vals[1]) == 0 {
+			bad++
+		}
+		return true
+	})
+	db.Relation("Orders").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Customer").LookupCount(0, tp.Vals[1]) == 0 {
+			bad++
+		}
+		return true
+	})
+	db.Relation("LineItem").Scan(func(tp *engine.Tuple) bool {
+		if db.Relation("Orders").LookupCount(0, tp.Vals[0]) == 0 {
+			bad++
+		}
+		if db.Relation("Part").LookupCount(0, tp.Vals[2]) == 0 {
+			bad++
+		}
+		if db.Relation("Supplier").LookupCount(0, tp.Vals[3]) == 0 {
+			bad++
+		}
+		return true
+	})
+	if bad > 0 {
+		t.Fatalf("%d dangling references", bad)
+	}
+}
+
+func TestGenerateCutConstants(t *testing.T) {
+	ds := Generate(Config{Scale: 0.1, Seed: 1})
+	// The cut constants must select non-empty, small fractions.
+	nSupp := 0
+	ds.DB.Relation("Supplier").Scan(func(tp *engine.Tuple) bool {
+		if tp.Vals[0].Int < int64(ds.SuppKeyCut) {
+			nSupp++
+		}
+		return true
+	})
+	if nSupp == 0 || nSupp > ds.NumSuppliers/10 {
+		t.Fatalf("SuppKeyCut selects %d of %d suppliers", nSupp, ds.NumSuppliers)
+	}
+	if ds.TargetNation < 1 || ds.TargetNation > ds.NumNations {
+		t.Fatalf("TargetNation = %d out of range", ds.TargetNation)
+	}
+	if ds.OrderKeyCut < 2 || ds.CustKeyCut < 2 {
+		t.Fatalf("cuts too small: ok<%d ck<%d", ds.OrderKeyCut, ds.CustKeyCut)
+	}
+}
+
+func TestGenerateTinyScale(t *testing.T) {
+	ds := Generate(Config{Scale: 0.001, Seed: 1})
+	for _, rel := range ds.DB.Schema.Names() {
+		if ds.DB.Relation(rel).Len() == 0 {
+			t.Fatalf("%s empty at tiny scale", rel)
+		}
+	}
+	if ds2 := Generate(Config{Seed: 2, Scale: 0}); ds2.NumRegions != 5 {
+		t.Fatal("scale 0 should default to 1.0")
+	}
+}

@@ -1,0 +1,142 @@
+// Package viz renders repair artifacts as Graphviz DOT: the layered
+// provenance graph of §5.2 (the paper's Figure 5), explanation trees, and
+// a semantics-comparison diagram. The output is plain DOT text; render it
+// with `dot -Tsvg` or any graphviz viewer.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+)
+
+// escape quotes a DOT label.
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// ProvenanceDOT renders the provenance graph in the paper's Figure 5
+// layout: base tuples as boxes annotated with their benefits, delta tuples
+// as ellipses ranked by derivation layer, and an edge from every
+// participating tuple to each delta tuple it helps derive (solid for
+// positive participation, dashed for delta dependencies).
+func ProvenanceDOT(g *provenance.Graph) string {
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	b.WriteString("  rankdir=BT;\n  node [fontsize=10];\n")
+
+	benefits := g.Benefits()
+
+	// Delta nodes grouped per layer with rank=same.
+	for layer := 1; layer <= g.NumLayers; layer++ {
+		heads := g.LayerHeads(layer)
+		if len(heads) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  { rank=same; // layer %d\n", layer)
+		for _, h := range heads {
+			fmt.Fprintf(&b, "    \"d:%s\" [label=\"Δ(%s)\", shape=ellipse];\n", escape(h), escape(h))
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Base tuple nodes: every tuple mentioned in any clause.
+	baseSeen := make(map[string]bool)
+	var baseOrder []string
+	for _, h := range g.Heads {
+		for _, c := range g.Assignments[h] {
+			for _, k := range c.Pos {
+				if !baseSeen[k] {
+					baseSeen[k] = true
+					baseOrder = append(baseOrder, k)
+				}
+			}
+		}
+	}
+	sort.Strings(baseOrder)
+	for _, k := range baseOrder {
+		fmt.Fprintf(&b, "  \"t:%s\" [label=\"%s, %d\", shape=box];\n", escape(k), escape(k), benefits[k])
+	}
+
+	// Edges: per assignment, positive tuples (solid) and delta deps
+	// (dashed) point to the derived delta node.
+	edgeSeen := make(map[string]bool)
+	edge := func(from, to, style string) {
+		key := from + "→" + to + style
+		if edgeSeen[key] {
+			return
+		}
+		edgeSeen[key] = true
+		fmt.Fprintf(&b, "  %s -> %s [style=%s];\n", from, to, style)
+	}
+	for _, h := range g.Heads {
+		target := fmt.Sprintf("\"d:%s\"", escape(h))
+		for _, c := range g.Assignments[h] {
+			for _, k := range c.Pos {
+				edge(fmt.Sprintf("\"t:%s\"", escape(k)), target, "solid")
+			}
+			for _, k := range c.Neg {
+				edge(fmt.Sprintf("\"d:%s\"", escape(k)), target, "dashed")
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ExplanationDOT renders one explanation tree: each deleted tuple is a
+// node; "after" dependencies are edges toward the initiating deletion.
+func ExplanationDOT(e *core.Explanation) string {
+	var b strings.Builder
+	b.WriteString("digraph explanation {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	seen := make(map[string]bool)
+	var walk func(x *core.Explanation)
+	walk = func(x *core.Explanation) {
+		id := fmt.Sprintf("\"%s\"", escape(x.Tuple))
+		if !seen[x.Tuple] {
+			seen[x.Tuple] = true
+			label := fmt.Sprintf("%s\\nlayer %d", escape(x.Tuple), x.Layer)
+			if len(x.Because) > 0 {
+				label += "\\nwith " + escape(strings.Join(x.Because, ", "))
+			}
+			fmt.Fprintf(&b, "  %s [label=\"%s\"];\n", id, label)
+		}
+		for _, dep := range x.After {
+			fmt.Fprintf(&b, "  %s -> \"%s\";\n", id, escape(dep.Tuple))
+			walk(dep)
+		}
+	}
+	walk(e)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ComparisonDOT renders the Figure 3-style relationship diagram for a set
+// of computed results: one node per semantics with its size, and subset
+// edges where containment holds on this instance.
+func ComparisonDOT(results map[core.Semantics]*core.Result) string {
+	var b strings.Builder
+	b.WriteString("digraph comparison {\n  rankdir=LR;\n  node [shape=box, fontsize=11];\n")
+	for _, sem := range core.AllSemantics {
+		r := results[sem]
+		if r == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\\n%d deleted\"];\n", sem, sem, r.Size())
+	}
+	for _, a := range core.AllSemantics {
+		for _, bSem := range core.AllSemantics {
+			if a == bSem || results[a] == nil || results[bSem] == nil {
+				continue
+			}
+			if results[a].SubsetOf(results[bSem]) && !results[a].SameSet(results[bSem]) {
+				fmt.Fprintf(&b, "  %s -> %s [label=\"⊆\"];\n", a, bSem)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
