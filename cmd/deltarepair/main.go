@@ -141,7 +141,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*dotPath, []byte(viz.ProvenanceDOT(graph)), 0o644); err != nil {
+		if err := os.WriteFile(*dotPath, []byte(viz.ProvenanceDOT(graph, db.DisplayKey)), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("provenance graph written to %s (%d delta nodes, %d layers)\n\n",

@@ -233,7 +233,7 @@ func ProvenanceDOT(db *Database, p *Program) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return viz.ProvenanceDOT(g), nil
+	return viz.ProvenanceDOT(g, db.DisplayKey), nil
 }
 
 // Deletion-propagation (source side-effect) types: remove a view tuple at

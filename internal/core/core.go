@@ -105,15 +105,16 @@ type Result struct {
 	// minimum-cardinality metric).
 	RepairCost int64
 
-	keys map[string]bool
+	ids  map[engine.TupleID]bool
+	keys map[string]bool // lazy; built only for key-based queries
 }
 
 // newResult builds a Result from tuples, sorting deterministically.
 func newResult(sem Semantics, deleted []*engine.Tuple) *Result {
 	sort.Slice(deleted, func(i, j int) bool { return deleted[i].Seq < deleted[j].Seq })
-	r := &Result{Semantics: sem, Deleted: deleted, keys: make(map[string]bool, len(deleted))}
+	r := &Result{Semantics: sem, Deleted: deleted, ids: make(map[engine.TupleID]bool, len(deleted))}
 	for _, t := range deleted {
-		r.keys[t.Key()] = true
+		r.ids[t.TID] = true
 	}
 	return r
 }
@@ -121,8 +122,25 @@ func newResult(sem Semantics, deleted []*engine.Tuple) *Result {
 // Size returns |S|.
 func (r *Result) Size() int { return len(r.Deleted) }
 
-// Contains reports whether the stabilizing set includes the tuple key.
-func (r *Result) Contains(key string) bool { return r.keys[key] }
+// ContainsID reports whether the stabilizing set includes the tuple with
+// the given interned ID.
+func (r *Result) ContainsID(id engine.TupleID) bool { return r.ids[id] }
+
+// ContainsTuple reports whether the stabilizing set includes the tuple.
+func (r *Result) ContainsTuple(t *engine.Tuple) bool { return r.ids[t.TID] }
+
+// Contains reports whether the stabilizing set includes the tuple with the
+// given content key (reporting/API convenience; identity checks inside the
+// engine use ContainsID).
+func (r *Result) Contains(key string) bool {
+	if r.keys == nil {
+		r.keys = make(map[string]bool, len(r.Deleted))
+		for _, t := range r.Deleted {
+			r.keys[t.Key()] = true
+		}
+	}
+	return r.keys[key]
+}
 
 // Keys returns the content keys of the stabilizing set in Seq order.
 func (r *Result) Keys() []string {
@@ -138,8 +156,8 @@ func (r *Result) SubsetOf(o *Result) bool {
 	if r.Size() > o.Size() {
 		return false
 	}
-	for k := range r.keys {
-		if !o.keys[k] {
+	for id := range r.ids {
+		if !o.ids[id] {
 			return false
 		}
 	}

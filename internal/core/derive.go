@@ -45,8 +45,8 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 	old := make(map[string]*engine.Relation, len(schema.Relations))
 	frontier := make(map[string]*engine.Relation, len(schema.Relations))
 	for _, rs := range schema.Relations {
-		old[rs.Name] = engine.NewRelation(rs.Name, rs.Arity())
-		fr := engine.NewRelation(rs.Name, rs.Arity())
+		old[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+		fr := engine.NewScratchRelation(rs.Name, rs.Arity())
 		// Pre-existing deltas (user-initiated deletions) seed the frontier.
 		work.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
 			fr.Insert(t)
@@ -61,7 +61,7 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 	}
 
 	var derivedAll []*engine.Tuple
-	derivedSet := make(map[string]bool)
+	derivedSet := make(map[engine.TupleID]bool)
 	rounds := 0
 
 	for round := 1; ; round++ {
@@ -69,7 +69,7 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 			return nil, rounds, fmt.Errorf("core: derivation did not converge after %d rounds", maxRounds)
 		}
 		var newHeads []*engine.Tuple
-		newSet := make(map[string]bool)
+		newSet := make(map[engine.TupleID]bool)
 
 		for _, rule := range p.Rules {
 			nDelta := rule.DeltaBodyCount()
@@ -89,13 +89,13 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 				}
 				err := datalog.EvalRule(rule, sources, func(asn *datalog.Assignment) bool {
 					head := asn.Head()
-					key := head.Key()
+					id := head.TID
 					if cfg.capture != nil {
 						// AddDerivation keeps the first layer for a known head.
-						cfg.capture.AddDerivation(key, round, provenance.ClauseOf(asn))
+						cfg.capture.AddDerivation(id, round, provenance.ClauseOf(asn))
 					}
-					if !derivedSet[key] && !newSet[key] && work.Delta(rule.Head.Rel).Get(key) == nil {
-						newSet[key] = true
+					if !derivedSet[id] && !newSet[id] && !work.Delta(rule.Head.Rel).ContainsID(id) {
+						newSet[id] = true
 						newHeads = append(newHeads, head)
 					}
 					return true
@@ -120,15 +120,15 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 				old[rs.Name].Insert(t)
 				return true
 			})
-			frontier[rs.Name] = engine.NewRelation(rs.Name, rs.Arity())
+			frontier[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
 		}
 		for _, head := range newHeads {
-			derivedSet[head.Key()] = true
+			derivedSet[head.TID] = true
 			derivedAll = append(derivedAll, head)
 			frontier[head.Rel].Insert(head)
 			if cfg.shrinkBases {
 				// Stage: move base → delta now.
-				work.Relation(head.Rel).Delete(head.Key())
+				work.Relation(head.Rel).DeleteTuple(head)
 			}
 			work.Delta(head.Rel).Insert(head)
 		}

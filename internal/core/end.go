@@ -43,7 +43,7 @@ func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Data
 	}
 	updStart := time.Now()
 	for _, t := range derived {
-		work.Relation(t.Rel).Delete(t.Key())
+		work.Relation(t.Rel).DeleteTuple(t)
 	}
 	res := newResult(SemEnd, append([]*engine.Tuple(nil), derived...))
 	res.Rounds = rounds
@@ -72,7 +72,7 @@ func runEndCaptured(db *engine.Database, p *datalog.Program, capture bool) (*Res
 	// Def. 3.10 final state: R_i^T ← R_i^0 \ ∆_i^T.
 	updStart := time.Now()
 	for _, t := range derived {
-		work.Relation(t.Rel).Delete(t.Key())
+		work.Relation(t.Rel).DeleteTuple(t)
 	}
 	updDur := time.Since(updStart)
 

@@ -57,41 +57,62 @@ func (e *Explanation) render(b *strings.Builder, depth int) {
 // every tuple deletable under end semantics — a superset of every
 // semantics' result (Prop. 3.20), so results from any executor can be
 // explained.
+//
+// The provenance graph is keyed by interned tuple IDs; the Explainer keeps
+// the database to resolve IDs back to readable content keys when building
+// Explanation trees (the one place this reverse mapping is needed).
 type Explainer struct {
 	graph *provenance.Graph
+	db    *engine.Database
 }
 
 // NewExplainer captures provenance for the database and program. The
-// database is not modified.
+// database is not modified; it is retained (read-only) to render tuple IDs
+// as content keys.
 func NewExplainer(db *engine.Database, p *datalog.Program) (*Explainer, error) {
 	_, _, graph, err := runEndCaptured(db, p, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Explainer{graph: graph}, nil
+	return &Explainer{graph: graph, db: db}, nil
+}
+
+// keyOf renders a tuple ID as its content key (reporting only).
+func (ex *Explainer) keyOf(id engine.TupleID) string {
+	return ex.db.DisplayKey(id)
 }
 
 // Explainable reports whether the tuple with the given content key has at
 // least one derivation.
 func (ex *Explainer) Explainable(key string) bool {
-	return len(ex.graph.Assignments[key]) > 0
+	t := ex.db.Lookup(key)
+	return t != nil && len(ex.graph.Assignments[t.TID]) > 0
 }
 
-// Explain returns the first (earliest-layer) derivation of the tuple, with
-// delta dependencies expanded recursively; nil if the tuple is not
-// derivable. Shared dependencies are expanded once per path; cycles cannot
-// occur because dependencies strictly decrease in layer.
+// Explain returns the first (earliest-layer) derivation of the tuple with
+// the given content key, with delta dependencies expanded recursively; nil
+// if the tuple is not derivable. Shared dependencies are expanded once per
+// path; cycles cannot occur because dependencies strictly decrease in layer.
 func (ex *Explainer) Explain(key string) *Explanation {
-	return ex.explain(key, make(map[string]bool))
-}
-
-func (ex *Explainer) explain(key string, onPath map[string]bool) *Explanation {
-	clauses := ex.graph.Assignments[key]
-	if len(clauses) == 0 || onPath[key] {
+	t := ex.db.Lookup(key)
+	if t == nil {
 		return nil
 	}
-	onPath[key] = true
-	defer delete(onPath, key)
+	return ex.ExplainTuple(t)
+}
+
+// ExplainTuple is Explain addressed by tuple.
+func (ex *Explainer) ExplainTuple(t *engine.Tuple) *Explanation {
+	return ex.explain(t.TID, make(map[engine.TupleID]bool))
+}
+
+func (ex *Explainer) explain(id engine.TupleID, onPath map[engine.TupleID]bool) *Explanation {
+	clauses := ex.graph.Assignments[id]
+	if len(clauses) == 0 || onPath[id] {
+		return nil
+	}
+	onPath[id] = true
+	defer delete(onPath, id)
 
 	// Choose the clause whose delta dependencies sit in the earliest
 	// layers (the most "direct" derivation), deterministically.
@@ -116,17 +137,23 @@ func (ex *Explainer) explain(key string, onPath map[string]bool) *Explanation {
 		return nil
 	}
 	c := clauses[best]
-	e := &Explanation{Tuple: key, Layer: ex.graph.Layer[key]}
+	e := &Explanation{Tuple: ex.keyOf(id), Layer: ex.graph.Layer[id]}
 	for _, pos := range c.Pos {
-		if pos != key {
-			e.Because = append(e.Because, pos)
+		if pos != id {
+			e.Because = append(e.Because, ex.keyOf(pos))
 		}
 	}
 	sort.Strings(e.Because)
-	deps := append([]string(nil), c.Neg...)
+	deps := make([]string, 0, len(c.Neg))
+	depOf := make(map[string]engine.TupleID, len(c.Neg))
+	for _, dep := range c.Neg {
+		k := ex.keyOf(dep)
+		deps = append(deps, k)
+		depOf[k] = dep
+	}
 	sort.Strings(deps)
-	for _, dep := range deps {
-		if sub := ex.explain(dep, onPath); sub != nil {
+	for _, k := range deps {
+		if sub := ex.explain(depOf[k], onPath); sub != nil {
 			e.After = append(e.After, sub)
 		}
 	}
@@ -145,7 +172,7 @@ type ResultExplanation struct {
 func (ex *Explainer) ExplainResult(res *Result) []ResultExplanation {
 	out := make([]ResultExplanation, 0, res.Size())
 	for _, t := range res.Deleted {
-		out = append(out, ResultExplanation{Tuple: t, Explanation: ex.Explain(t.Key())})
+		out = append(out, ResultExplanation{Tuple: t, Explanation: ex.ExplainTuple(t)})
 	}
 	return out
 }

@@ -76,7 +76,7 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	for _, r := range p.Rules {
 		var evalErr error
 		err := datalog.EvalRule(r, sourcesFor(r), func(asn *datalog.Assignment) bool {
-			formula.Add(asn.Head().Key(), provenance.ClauseOf(asn))
+			formula.Add(asn.Head().TID, provenance.ClauseOf(asn))
 			if formula.Len() > maxClauses {
 				evalErr = fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
 				return false
@@ -94,21 +94,23 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 
 	// Phase 2 (ProcessProv): negate into CNF over deletion variables
 	// (lines 2–4): clause (t₁ ∧ … ∧ ¬d₁ ∧ …) negates to
-	// (x_t₁ ∨ … ∨ ¬x_d₁ ∨ …) where x_t means "t is deleted".
+	// (x_t₁ ∨ … ∨ ¬x_d₁ ∨ …) where x_t means "t is deleted". SAT variables
+	// map 1:1 to interned tuple IDs (numbered by first occurrence); no
+	// string keys exist anywhere on this path.
 	ppStart := time.Now()
-	keys := formula.TupleKeys()
-	varOf := make(map[string]int, len(keys))
-	for i, k := range keys {
-		varOf[k] = i + 1
+	ids := formula.TupleIDs()
+	varOf := make(map[engine.TupleID]int, len(ids))
+	for i, id := range ids {
+		varOf[id] = i + 1
 	}
-	cnf := sat.NewFormula(len(keys))
+	cnf := sat.NewFormula(len(ids))
 	for _, c := range formula.Clauses {
 		lits := make([]int, 0, len(c.Pos)+len(c.Neg))
-		for _, k := range c.Pos {
-			lits = append(lits, varOf[k])
+		for _, id := range c.Pos {
+			lits = append(lits, varOf[id])
 		}
-		for _, k := range c.Neg {
-			lits = append(lits, -varOf[k])
+		for _, id := range c.Neg {
+			lits = append(lits, -varOf[id])
 		}
 		if err := cnf.AddClause(lits...); err != nil {
 			return nil, nil, err
@@ -116,11 +118,11 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	}
 	// Pre-existing deletions are facts, not choices: force their
 	// variables true so the stability clauses respect them.
-	preDeleted := make(map[string]bool)
+	preDeleted := make(map[engine.TupleID]bool)
 	for _, rs := range db.Schema.Relations {
 		db.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
-			preDeleted[t.Key()] = true
-			if v, ok := varOf[t.Key()]; ok {
+			preDeleted[t.TID] = true
+			if v, ok := varOf[t.TID]; ok {
 				if err := cnf.AddClause(v); err != nil {
 					return false
 				}
@@ -134,8 +136,8 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	var prefer []int
 	if !opts.DisablePreferDerivable {
 		if _, _, graph, err := runEndCaptured(db, p, true); err == nil {
-			heads := append([]string(nil), graph.Heads...)
-			idx := make(map[string]int, len(heads))
+			heads := append([]engine.TupleID(nil), graph.Heads...)
+			idx := make(map[engine.TupleID]int, len(heads))
 			for i, h := range heads {
 				idx[h] = i
 			}
@@ -159,9 +161,9 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	// minimum cardinality.
 	var weights []int64
 	if opts.Weight != nil {
-		weights = make([]int64, len(keys)+1)
-		for i, k := range keys {
-			t := db.Lookup(k)
+		weights = make([]int64, len(ids)+1)
+		for i, id := range ids {
+			t := db.LookupID(id)
 			w := int64(1)
 			if t != nil {
 				if tw := opts.Weight(t); tw > 1 {
@@ -186,14 +188,13 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	updStart := time.Now()
 	work := db.Clone()
 	var deleted []*engine.Tuple
-	for i, k := range keys {
-		if solved.Assignment[i+1] && !preDeleted[k] {
-			t := work.Lookup(k)
-			if t == nil {
-				return nil, nil, fmt.Errorf("core: solver selected unknown tuple %s", k)
+	for i, id := range ids {
+		if solved.Assignment[i+1] && !preDeleted[id] {
+			t := db.LookupID(id)
+			if t == nil || !work.DeleteTupleToDelta(t) {
+				return nil, nil, fmt.Errorf("core: solver selected unknown tuple t%d", id)
 			}
 			deleted = append(deleted, t)
-			work.DeleteToDelta(k)
 		}
 	}
 	// Safety net: the satisfying assignment must stabilize (correctness of

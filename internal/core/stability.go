@@ -59,7 +59,7 @@ func IsStabilizing(db *engine.Database, p *datalog.Program, keys []string) (bool
 func Apply(db *engine.Database, p *datalog.Program, res *Result) (*engine.Database, error) {
 	work := db.Clone()
 	for _, t := range res.Deleted {
-		work.DeleteToDelta(t.Key())
+		work.DeleteTupleToDelta(t)
 	}
 	stable, err := CheckStable(work, p)
 	if err != nil {

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/datalog"
@@ -44,36 +45,37 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 	}
 
 	// Phase 2 (ProcessProv): flatten the graph into indexed clauses and
-	// compute benefits.
+	// compute benefits. Everything is keyed by interned tuple IDs; no
+	// content keys exist on this path.
 	ppStart := time.Now()
 	type flatClause struct {
-		head     string
-		pos, neg []string
+		head     engine.TupleID
+		pos, neg []engine.TupleID
 	}
 	var clauses []flatClause
-	headAlive := make(map[string]int, len(graph.Heads))
-	posIdx := make(map[string][]int) // tuple key -> clause ids where key ∈ Pos, key ≠ head
-	negIdx := make(map[string][]int) // tuple key -> clause ids where key ∈ Neg
+	headAlive := make(map[engine.TupleID]int, len(graph.Heads))
+	posIdx := make(map[engine.TupleID][]int32) // tuple -> clause ids where it ∈ Pos, ≠ head
+	negIdx := make(map[engine.TupleID][]int32) // tuple -> clause ids where it ∈ Neg
 	for _, h := range graph.Heads {
 		for _, c := range graph.Assignments[h] {
-			ci := len(clauses)
+			ci := int32(len(clauses))
 			clauses = append(clauses, flatClause{head: h, pos: c.Pos, neg: c.Neg})
 			headAlive[h]++
-			for _, k := range c.Pos {
-				if k != h {
-					posIdx[k] = append(posIdx[k], ci)
+			for _, id := range c.Pos {
+				if id != h {
+					posIdx[id] = append(posIdx[id], ci)
 				}
 			}
-			for _, k := range c.Neg {
-				negIdx[k] = append(negIdx[k], ci)
+			for _, id := range c.Neg {
+				negIdx[id] = append(negIdx[id], ci)
 			}
 		}
 	}
 	benefits := graph.Benefits()
 
 	// Pre-sort each layer's heads by (benefit desc, derivation order asc).
-	layerOrder := make([][]string, graph.NumLayers+1)
-	derivIdx := make(map[string]int, len(graph.Heads))
+	layerOrder := make([][]engine.TupleID, graph.NumLayers+1)
+	derivIdx := make(map[engine.TupleID]int, len(graph.Heads))
 	for i, h := range graph.Heads {
 		derivIdx[h] = i
 		l := graph.Layer[h]
@@ -94,14 +96,14 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 
 	// Phase 3 (Traverse): greedy selection with cascading pruning.
 	trStart := time.Now()
-	inS := make(map[string]bool)
-	removed := make(map[string]bool)
+	inS := make(map[engine.TupleID]bool)
+	removed := make(map[engine.TupleID]bool)
 	void := make([]bool, len(clauses))
-	var order []string
+	var order []engine.TupleID
 
-	var voidClause func(ci int)
-	var removeHead func(h string)
-	voidClause = func(ci int) {
+	var voidClause func(ci int32)
+	var removeHead func(h engine.TupleID)
+	voidClause = func(ci int32) {
 		if void[ci] {
 			return
 		}
@@ -112,7 +114,7 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 			removeHead(h)
 		}
 	}
-	removeHead = func(h string) {
+	removeHead = func(h engine.TupleID) {
 		removed[h] = true
 		// Clauses requiring ∆(h) as a delta dependency are now void
 		// (h was neither deleted nor remains derivable).
@@ -120,7 +122,7 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 			voidClause(ci)
 		}
 	}
-	addToS := func(t string) {
+	addToS := func(t engine.TupleID) {
 		inS[t] = true
 		order = append(order, t)
 		// Deleting t voids every assignment using t positively (other than
@@ -140,17 +142,17 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 	}
 	trDur := time.Since(trStart)
 
-	// Materialize the result and the repaired database.
+	// Materialize the result and the repaired database. Tuples resolve by
+	// ID against the input database; the clone shares tuple pointers.
 	updStart := time.Now()
 	work := db.Clone()
 	deleted := make([]*engine.Tuple, 0, len(order))
-	for _, k := range order {
-		t := work.Lookup(k)
-		if t == nil {
-			return nil, nil, fmt.Errorf("core: step semantics selected unknown tuple %s", k)
+	for _, id := range order {
+		t := db.LookupID(id)
+		if t == nil || !work.DeleteTupleToDelta(t) {
+			return nil, nil, fmt.Errorf("core: step semantics selected unknown tuple t%d", id)
 		}
 		deleted = append(deleted, t)
-		work.DeleteToDelta(k)
 	}
 	updDur := time.Since(updStart)
 
@@ -176,6 +178,18 @@ type StepExhaustiveOptions struct {
 // DefaultMaxStepStates is the exhaustive search's default state budget.
 const DefaultMaxStepStates = 250_000
 
+// stateSig encodes a sorted deletion set as a compact binary string for
+// visited-state dedup (8 bytes per tuple ID).
+func stateSig(ids []engine.TupleID) string {
+	buf := make([]byte, 0, 8*len(ids))
+	for _, id := range ids {
+		buf = append(buf,
+			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+	}
+	return string(buf)
+}
+
 // RunStepExhaustive computes the true Step(P, D): the minimum-size deletion
 // set over all step executions (Def. 3.5), by breadth-first search over
 // deletion states. Exponential — only usable on small databases; it exists
@@ -187,9 +201,15 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 	}
 
 	type state struct {
-		keys []string // sorted deletion set
+		tuples []*engine.Tuple // deletion set, sorted by TupleID
 	}
-	stateKey := func(keys []string) string { return strings.Join(keys, "|") }
+	sigOf := func(st state) string {
+		ids := make([]engine.TupleID, len(st.tuples))
+		for i, t := range st.tuples {
+			ids[i] = t.TID
+		}
+		return stateSig(ids)
+	}
 
 	start := time.Now()
 	visited := map[string]bool{"": true}
@@ -198,20 +218,21 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 	for len(frontier) > 0 {
 		var next []state
 		for _, st := range frontier {
-			// Rebuild the database at this state.
+			// Rebuild the database at this state. Tuple pointers are shared
+			// between db and its clones, so the set applies to any clone.
 			work := db.Clone()
-			for _, k := range st.keys {
-				work.DeleteToDelta(k)
+			for _, t := range st.tuples {
+				work.DeleteTupleToDelta(t)
 			}
 			// Enumerate all current assignments; collect candidate heads.
-			headSet := make(map[string]bool)
-			var heads []string
+			headSet := make(map[engine.TupleID]bool)
+			var heads []*engine.Tuple
 			for _, r := range p.Rules {
 				err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
-					k := a.Head().Key()
-					if !headSet[k] {
-						headSet[k] = true
-						heads = append(heads, k)
+					h := a.Head()
+					if !headSet[h.TID] {
+						headSet[h.TID] = true
+						heads = append(heads, h)
 					}
 					return true
 				})
@@ -221,22 +242,21 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 			}
 			if len(heads) == 0 {
 				// Stable: BFS guarantees minimal |S| among step executions.
-				deleted := make([]*engine.Tuple, 0, len(st.keys))
-				for _, k := range st.keys {
-					deleted = append(deleted, work.Lookup(k))
-				}
-				res := newResult(SemStep, deleted)
+				res := newResult(SemStep, append([]*engine.Tuple(nil), st.tuples...))
 				res.Optimal = true
-				res.Rounds = len(st.keys)
+				res.Rounds = len(st.tuples)
 				res.Timing = Breakdown{Eval: time.Since(start)}
 				return res, work, nil
 			}
 			for _, h := range heads {
-				keys := make([]string, 0, len(st.keys)+1)
-				keys = append(keys, st.keys...)
-				keys = append(keys, h)
-				sort.Strings(keys)
-				sk := stateKey(keys)
+				tuples := make([]*engine.Tuple, 0, len(st.tuples)+1)
+				tuples = append(tuples, st.tuples...)
+				tuples = append(tuples, h)
+				slices.SortFunc(tuples, func(a, b *engine.Tuple) int {
+					return cmp.Compare(a.TID, b.TID)
+				})
+				cand := state{tuples: tuples}
+				sk := sigOf(cand)
 				if visited[sk] {
 					continue
 				}
@@ -244,7 +264,7 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 					return nil, nil, fmt.Errorf("core: exhaustive step search exceeded %d states", maxStates)
 				}
 				visited[sk] = true
-				next = append(next, state{keys: keys})
+				next = append(next, cand)
 			}
 		}
 		frontier = next
@@ -266,14 +286,14 @@ func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result
 		if steps > db.TotalTuples()+1 {
 			return nil, nil, fmt.Errorf("core: random step execution did not terminate")
 		}
-		var heads []string
-		headSet := make(map[string]bool)
+		var heads []*engine.Tuple
+		headSet := make(map[engine.TupleID]bool)
 		for _, r := range p.Rules {
 			err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
-				k := a.Head().Key()
-				if !headSet[k] {
-					headSet[k] = true
-					heads = append(heads, k)
+				h := a.Head()
+				if !headSet[h.TID] {
+					headSet[h.TID] = true
+					heads = append(heads, h)
 				}
 				return true
 			})
@@ -284,9 +304,9 @@ func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result
 		if len(heads) == 0 {
 			break
 		}
-		k := heads[rng.Intn(len(heads))]
-		deleted = append(deleted, work.Lookup(k))
-		work.DeleteToDelta(k)
+		h := heads[rng.Intn(len(heads))]
+		deleted = append(deleted, h)
+		work.DeleteTupleToDelta(h)
 	}
 	res := newResult(SemStep, deleted)
 	res.Rounds = len(deleted)

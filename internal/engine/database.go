@@ -9,7 +9,7 @@ import (
 // Database is an instance over a schema: one base relation R_i and one delta
 // relation ∆_i per relation schema. Per §3.1 of the paper, ∆_i records the
 // tuples deleted from R_i; a tuple moves from base to delta, it is never
-// destroyed, so provenance and reporting can always resolve content keys.
+// destroyed, so provenance and reporting can always resolve tuple IDs.
 type Database struct {
 	Schema *Schema
 
@@ -29,6 +29,11 @@ func NewDatabase(schema *Schema) *Database {
 	}
 	for _, rs := range schema.Relations {
 		db.base[rs.Name] = NewRelation(rs.Name, rs.Arity())
+		// Delta relations keep full content dedup (not scratch): deleting a
+		// tuple and re-inserting equal content mints a fresh identity, so a
+		// second deletion would hand the delta a distinct object with
+		// duplicate content — the content check is what preserves the
+		// delta's set semantics. Cost: one cached-key hash per deletion.
 		db.delta[rs.Name] = NewRelation(rs.Name, rs.Arity())
 	}
 	return db
@@ -41,8 +46,10 @@ func (db *Database) Relation(rel string) *Relation { return db.base[rel] }
 func (db *Database) Delta(rel string) *Relation { return db.delta[rel] }
 
 // Insert adds a new tuple to the base relation, minting an identifier from
-// the relation's ID prefix. It returns the stored tuple; re-inserting
-// existing content returns the already-stored tuple.
+// the relation's ID prefix and interning the tuple (assigning its TupleID).
+// It returns the stored tuple; re-inserting existing content returns the
+// already-stored tuple. This is the insert/dedup boundary: the one hot-ish
+// place a content key is computed, to intern content exactly once.
 func (db *Database) Insert(rel string, vals ...Value) (*Tuple, error) {
 	rs := db.Schema.Relation(rel)
 	if rs == nil {
@@ -63,6 +70,7 @@ func (db *Database) Insert(rel string, vals ...Value) (*Tuple, error) {
 		Rel:  rel,
 		Vals: append([]Value(nil), vals...),
 		Seq:  db.seq,
+		key:  key, // already computed; cache for reporting
 	}
 	r.Insert(t)
 	return t, nil
@@ -77,33 +85,39 @@ func (db *Database) MustInsert(rel string, vals ...Value) *Tuple {
 	return t
 }
 
-// DeleteToDelta moves the tuple with the given content key from its base
-// relation into its delta relation, implementing ∆(S) bookkeeping: deleting
-// t from R_i adds it to ∆_i. It reports whether the tuple was live in base.
-// The delta side is recorded even if the base tuple was already gone, so
-// the operation is idempotent and usable for replaying deletion sets.
+// DeleteTupleToDelta moves a tuple from its base relation into its delta
+// relation, implementing ∆(S) bookkeeping: deleting t from R_i adds it to
+// ∆_i. It reports whether the tuple was live in base. This is the hot-path
+// deletion primitive — pure integer-identity work, no keys built or parsed.
+func (db *Database) DeleteTupleToDelta(t *Tuple) bool {
+	r := db.base[t.Rel]
+	d := db.delta[t.Rel]
+	if r == nil || d == nil {
+		return false
+	}
+	if !r.DeleteTuple(t) {
+		return false
+	}
+	d.Insert(t)
+	return true
+}
+
+// DeleteToDelta is DeleteTupleToDelta addressed by content key, for API
+// boundaries (REPL commands, user-supplied deletion sets).
 func (db *Database) DeleteToDelta(key string) bool {
 	rel, ok := relOfKey(key)
 	if !ok {
 		return false
 	}
 	r := db.base[rel]
-	d := db.delta[rel]
-	if r == nil || d == nil {
+	if r == nil {
 		return false
 	}
 	t := r.Get(key)
 	if t == nil {
 		return false
 	}
-	r.Delete(key)
-	d.Insert(t)
-	return true
-}
-
-// DeleteTupleToDelta moves a tuple (by pointer) from base to delta.
-func (db *Database) DeleteTupleToDelta(t *Tuple) bool {
-	return db.DeleteToDelta(t.Key())
+	return db.DeleteTupleToDelta(t)
 }
 
 // relOfKey extracts the relation name from a content key "Rel(...)".
@@ -136,6 +150,33 @@ func (db *Database) Lookup(key string) *Tuple {
 		}
 	}
 	return nil
+}
+
+// LookupID finds the tuple with the given interned ID, live or deleted, or
+// nil. Tuples move between base and delta but are never destroyed, so every
+// ID ever handed out by this database (or its ancestors, for clones)
+// resolves.
+func (db *Database) LookupID(id TupleID) *Tuple {
+	for _, r := range db.base {
+		if t := r.GetID(id); t != nil {
+			return t
+		}
+	}
+	for _, d := range db.delta {
+		if t := d.GetID(id); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// DisplayKey renders a tuple ID as its human-readable content key, falling
+// back to "t<id>" for IDs this database cannot resolve. Reporting only.
+func (db *Database) DisplayKey(id TupleID) string {
+	if t := db.LookupID(id); t != nil {
+		return t.Key()
+	}
+	return fmt.Sprintf("t%d", id)
 }
 
 // TotalTuples returns the number of live base tuples across all relations.

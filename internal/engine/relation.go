@@ -6,9 +6,16 @@ import (
 )
 
 // Relation is a set of tuples with deterministic iteration order and lazily
-// built hash indexes on single columns. Deletions are supported in O(1) per
-// index; iteration skips tombstones and the backing slice is compacted when
-// more than half of it is dead.
+// built hash indexes on single columns. Identity is the interned TupleID:
+// membership, deletion, and index buckets are all integer-keyed, and
+// iteration walks a compacted slice with a liveness bitmap — no content key
+// is hashed or built on the scan/lookup path. A content-key intern map
+// exists only for the key-based API (Contains/Get/Delete by string) and is
+// built lazily the first time it is needed.
+//
+// Deletions are O(1) per index (buckets tombstone lazily); iteration skips
+// dead slots and the backing slice is compacted when more than half of it
+// is dead.
 //
 // A Relation is used both for base relations R_i and delta relations ∆_i
 // (which share the base relation's schema per §3.1 of the paper).
@@ -16,73 +23,170 @@ type Relation struct {
 	Name  string
 	Arity int
 
-	tuples map[string]*Tuple // content key -> tuple
-	order  []*Tuple          // insertion order; nil entries are tombstones
-	dead   int               // number of tombstones in order
+	byID  map[TupleID]int32 // live tuples: TID -> position in order
+	order []*Tuple          // insertion order; dead slots remain until compact
+	live  []bool            // liveness bitmap parallel to order
+	dead  int               // number of dead slots in order
 
-	// indexes[col][valueKey] -> tuples having that value at col.
-	indexes map[int]map[string]map[string]*Tuple
+	// byKey is the content intern map (content key -> TID). It is built
+	// lazily on the first insert or key-based operation and maintained
+	// afterwards; relations that are only scanned, probed, and deleted
+	// from (cloned bases inside executors) never pay for it.
+	byKey map[string]TupleID
+
+	// indexes[col][value] -> bucket of TIDs having that value at col.
+	// Values are normalized with Value.mapKey, so probing hashes the Value
+	// directly — no string building.
+	indexes map[int]map[Value]*idxBucket
+
+	// positional marks a scratch relation (NewScratchRelation): inserts of
+	// interned tuples dedup by ID alone and skip intern-map maintenance.
+	positional bool
+}
+
+// idxBucket is one hash-index bucket: tuple IDs in insertion order, of
+// which n are still live (dead IDs are filtered out lazily on lookup).
+type idxBucket struct {
+	ids []TupleID
+	n   int32 // live count
 }
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, arity int) *Relation {
 	return &Relation{
-		Name:   name,
-		Arity:  arity,
-		tuples: make(map[string]*Tuple),
+		Name:  name,
+		Arity: arity,
+		byID:  make(map[TupleID]int32),
 	}
 }
 
-// Len returns the number of live tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+// NewScratchRelation creates a positional scratch relation for evaluation
+// internals (seminaive frontiers, single-row event sources): inserting an
+// already-interned tuple dedups by TupleID alone, with no content-key work
+// at all. The caller must only insert tuples drawn from one database
+// lineage (where equal content implies the same tuple object) — exactly
+// the invariant evaluation scratch space satisfies. Key-based lookups
+// still work (the intern map builds lazily) but are not expected here.
+func NewScratchRelation(name string, arity int) *Relation {
+	r := NewRelation(name, arity)
+	r.positional = true
+	return r
+}
 
-// Contains reports whether a tuple with the given content key is present.
-func (r *Relation) Contains(key string) bool {
-	_, ok := r.tuples[key]
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return len(r.byID) }
+
+// ContainsID reports whether the tuple with the given interned ID is live.
+func (r *Relation) ContainsID(id TupleID) bool {
+	_, ok := r.byID[id]
 	return ok
 }
 
-// Get returns the tuple with the given content key, or nil.
-func (r *Relation) Get(key string) *Tuple { return r.tuples[key] }
+// ContainsTuple reports whether the given tuple is live in the relation.
+func (r *Relation) ContainsTuple(t *Tuple) bool { return r.ContainsID(t.TID) }
 
-// Insert adds a tuple; it reports whether the tuple was new. The tuple's
-// arity must match the relation's.
+// GetID returns the live tuple with the given interned ID, or nil.
+func (r *Relation) GetID(id TupleID) *Tuple {
+	if pos, ok := r.byID[id]; ok {
+		return r.order[pos]
+	}
+	return nil
+}
+
+// Contains reports whether a tuple with the given content key is live.
+func (r *Relation) Contains(key string) bool {
+	_, ok := r.internKeys()[key]
+	return ok
+}
+
+// Get returns the live tuple with the given content key, or nil.
+func (r *Relation) Get(key string) *Tuple {
+	if id, ok := r.internKeys()[key]; ok {
+		return r.GetID(id)
+	}
+	return nil
+}
+
+// internKeys returns the content intern map, building it on first use.
+func (r *Relation) internKeys() map[string]TupleID {
+	if r.byKey == nil {
+		r.byKey = make(map[string]TupleID, len(r.byID))
+		for i, t := range r.order {
+			if r.live[i] {
+				r.byKey[t.Key()] = t.TID
+			}
+		}
+	}
+	return r.byKey
+}
+
+// Insert adds a tuple; it reports whether the tuple was new (set
+// semantics: content that is already present, under any tuple object, is
+// not inserted again). The tuple's arity must match the relation's. A tuple
+// inserted for the first time anywhere is interned (assigned its TupleID).
+//
+// This is the insert/dedup boundary — the one place outside reporting where
+// the content intern map is consulted. The common case (an interned tuple
+// already present by ID) short-circuits before any content-key work.
 func (r *Relation) Insert(t *Tuple) bool {
 	if len(t.Vals) != r.Arity {
 		panic(fmt.Sprintf("engine: arity mismatch inserting %s into %s/%d", t, r.Name, r.Arity))
 	}
-	key := t.Key()
-	if _, dup := r.tuples[key]; dup {
-		return false
-	}
-	r.tuples[key] = t
-	r.order = append(r.order, t)
-	for col, idx := range r.indexes {
-		vk := t.Vals[col].keyString()
-		bucket := idx[vk]
-		if bucket == nil {
-			bucket = make(map[string]*Tuple)
-			idx[vk] = bucket
+	if t.TID != 0 {
+		if _, dup := r.byID[t.TID]; dup {
+			return false
 		}
-		bucket[key] = t
+	}
+	if !r.positional || t.TID == 0 {
+		if _, dup := r.internKeys()[t.Key()]; dup {
+			return false
+		}
+	}
+	assignTupleID(t)
+	// Index maintenance runs before t joins byID: compacting a bucket with
+	// stale entries here drops any tombstoned id t left behind from an
+	// earlier delete, so re-insertion cannot duplicate it.
+	for col, idx := range r.indexes {
+		v := t.Vals[col].mapKey()
+		b := idx[v]
+		if b == nil {
+			b = &idxBucket{}
+			idx[v] = b
+		}
+		if int(b.n) != len(b.ids) {
+			b.compact(r)
+		}
+		b.ids = append(b.ids, t.TID)
+		b.n++
+	}
+	pos := int32(len(r.order))
+	r.byID[t.TID] = pos
+	r.order = append(r.order, t)
+	r.live = append(r.live, true)
+	if r.byKey != nil {
+		r.byKey[t.Key()] = t.TID
 	}
 	return true
 }
 
-// Delete removes the tuple with the given content key; it reports whether
-// the tuple was present.
-func (r *Relation) Delete(key string) bool {
-	t, ok := r.tuples[key]
+// DeleteID removes the tuple with the given interned ID; it reports whether
+// the tuple was live.
+func (r *Relation) DeleteID(id TupleID) bool {
+	pos, ok := r.byID[id]
 	if !ok {
 		return false
 	}
-	delete(r.tuples, key)
+	t := r.order[pos]
+	delete(r.byID, id)
+	r.live[pos] = false
+	if r.byKey != nil {
+		delete(r.byKey, t.Key())
+	}
 	for col, idx := range r.indexes {
-		vk := t.Vals[col].keyString()
-		if bucket := idx[vk]; bucket != nil {
-			delete(bucket, key)
-			if len(bucket) == 0 {
-				delete(idx, vk)
+		if b := idx[t.Vals[col].mapKey()]; b != nil {
+			b.n-- // the stale ID is filtered lazily on the next lookup
+			if b.n == 0 {
+				delete(idx, t.Vals[col].mapKey())
 			}
 		}
 	}
@@ -94,22 +198,41 @@ func (r *Relation) Delete(key string) bool {
 	return true
 }
 
+// DeleteTuple removes the given tuple; it reports whether it was live.
+func (r *Relation) DeleteTuple(t *Tuple) bool { return r.DeleteID(t.TID) }
+
+// Delete removes the tuple with the given content key; it reports whether
+// the tuple was present.
+func (r *Relation) Delete(key string) bool {
+	id, ok := r.internKeys()[key]
+	if !ok {
+		return false
+	}
+	return r.DeleteID(id)
+}
+
 func (r *Relation) compact() {
-	live := r.order[:0]
-	for _, t := range r.order {
-		if t != nil && r.tuples[t.Key()] == t {
-			live = append(live, t)
+	n := 0
+	for i, t := range r.order {
+		if r.live[i] {
+			r.order[n] = t
+			r.byID[t.TID] = int32(n)
+			n++
 		}
 	}
-	r.order = live
+	for i := range n {
+		r.live[i] = true
+	}
+	r.order = r.order[:n]
+	r.live = r.live[:n]
 	r.dead = 0
 }
 
 // Scan calls fn for each live tuple in insertion order; fn returning false
 // stops the scan. Mutating the relation during a scan is not supported.
 func (r *Relation) Scan(fn func(*Tuple) bool) {
-	for _, t := range r.order {
-		if t == nil || r.tuples[t.Key()] != t {
+	for i, t := range r.order {
+		if !r.live[i] {
 			continue
 		}
 		if !fn(t) {
@@ -120,59 +243,93 @@ func (r *Relation) Scan(fn func(*Tuple) bool) {
 
 // Tuples returns the live tuples in insertion order.
 func (r *Relation) Tuples() []*Tuple {
-	out := make([]*Tuple, 0, len(r.tuples))
+	out := make([]*Tuple, 0, len(r.byID))
 	r.Scan(func(t *Tuple) bool { out = append(out, t); return true })
 	return out
 }
 
-// Keys returns the live tuples' content keys in insertion order.
+// Keys returns the live tuples' content keys in insertion order (reporting
+// convenience; not used on evaluation paths).
 func (r *Relation) Keys() []string {
-	out := make([]string, 0, len(r.tuples))
+	out := make([]string, 0, len(r.byID))
 	r.Scan(func(t *Tuple) bool { out = append(out, t.Key()); return true })
 	return out
 }
 
+// IDs returns the live tuples' interned IDs in insertion order.
+func (r *Relation) IDs() []TupleID {
+	out := make([]TupleID, 0, len(r.byID))
+	r.Scan(func(t *Tuple) bool { out = append(out, t.TID); return true })
+	return out
+}
+
 // ensureIndex builds the hash index on col if missing.
-func (r *Relation) ensureIndex(col int) map[string]map[string]*Tuple {
+func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 	if r.indexes == nil {
-		r.indexes = make(map[int]map[string]map[string]*Tuple)
+		r.indexes = make(map[int]map[Value]*idxBucket)
 	}
 	idx, ok := r.indexes[col]
 	if ok {
 		return idx
 	}
-	idx = make(map[string]map[string]*Tuple)
-	for key, t := range r.tuples {
-		vk := t.Vals[col].keyString()
-		bucket := idx[vk]
-		if bucket == nil {
-			bucket = make(map[string]*Tuple)
-			idx[vk] = bucket
+	idx = make(map[Value]*idxBucket)
+	for i, t := range r.order {
+		if !r.live[i] {
+			continue
 		}
-		bucket[key] = t
+		v := t.Vals[col].mapKey()
+		b := idx[v]
+		if b == nil {
+			b = &idxBucket{}
+			idx[v] = b
+		}
+		b.ids = append(b.ids, t.TID)
+		b.n++
 	}
 	r.indexes[col] = idx
 	return idx
 }
 
-// Lookup returns the live tuples whose value at col equals v, ordered by
-// insertion sequence (deterministic). The first call on a column builds its
-// index in O(n).
+// Lookup returns the live tuples whose value at col equals v (numeric
+// values compare cross-kind, mirroring Value.Equal), ordered by insertion
+// sequence (deterministic). The first call on a column builds its index in
+// O(n). No content key is built: the probe hashes the Value itself.
 func (r *Relation) Lookup(col int, v Value) []*Tuple {
 	if col < 0 || col >= r.Arity {
 		return nil
 	}
-	idx := r.ensureIndex(col)
-	bucket := idx[v.keyString()]
-	if len(bucket) == 0 {
+	b := r.ensureIndex(col)[v.mapKey()]
+	if b == nil || b.n == 0 {
 		return nil
 	}
-	out := make([]*Tuple, 0, len(bucket))
-	for _, t := range bucket {
+	out := make([]*Tuple, 0, b.n)
+	if int(b.n) != len(b.ids) {
+		b.compact(r)
+	}
+	sorted := true
+	for _, id := range b.ids {
+		t := r.order[r.byID[id]]
+		if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
+			sorted = false
+		}
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	}
 	return out
+}
+
+// compact drops dead IDs from the bucket.
+func (b *idxBucket) compact(r *Relation) {
+	n := 0
+	for _, id := range b.ids {
+		if _, ok := r.byID[id]; ok {
+			b.ids[n] = id
+			n++
+		}
+	}
+	b.ids = b.ids[:n]
 }
 
 // LookupCount returns the number of live tuples whose value at col equals v
@@ -181,24 +338,34 @@ func (r *Relation) LookupCount(col int, v Value) int {
 	if col < 0 || col >= r.Arity {
 		return 0
 	}
-	return len(r.ensureIndex(col)[v.keyString()])
+	if b := r.ensureIndex(col)[v.mapKey()]; b != nil {
+		return int(b.n)
+	}
+	return 0
 }
 
 // Clone returns a deep copy of the relation structure. Tuples are shared by
-// pointer (they are immutable); maps and the order slice are copied, and
-// indexes are dropped (they rebuild lazily on demand).
+// pointer (they are immutable); the ID map and order slices are copied, and
+// indexes and the content intern map are dropped (they rebuild lazily on
+// demand). No content keys are touched.
 func (r *Relation) Clone() *Relation {
+	n := len(r.byID)
 	c := &Relation{
-		Name:   r.Name,
-		Arity:  r.Arity,
-		tuples: make(map[string]*Tuple, len(r.tuples)),
-		order:  make([]*Tuple, 0, len(r.tuples)),
+		Name:       r.Name,
+		Arity:      r.Arity,
+		byID:       make(map[TupleID]int32, n),
+		order:      make([]*Tuple, 0, n),
+		live:       make([]bool, 0, n),
+		positional: r.positional,
 	}
-	r.Scan(func(t *Tuple) bool {
-		c.tuples[t.Key()] = t
+	for i, t := range r.order {
+		if !r.live[i] {
+			continue
+		}
+		c.byID[t.TID] = int32(len(c.order))
 		c.order = append(c.order, t)
-		return true
-	})
+		c.live = append(c.live, true)
+	}
 	return c
 }
 

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -215,5 +217,214 @@ func TestRelationStringer(t *testing.T) {
 	r.Insert(mkTuple("R", 1, Int(1)))
 	if s := fmt.Sprint(r); s != "R[1]" {
 		t.Fatalf("String = %q, want R[1]", s)
+	}
+}
+
+// --- Model-based identity-invariant test ------------------------------------
+
+// refModel is a naive reference implementation of a Relation: a slice of
+// live tuples in insertion order with content-key dedup. The real Relation
+// (ID maps, liveness bitmap, lazy intern map, index buckets, compaction)
+// must agree with it after any operation sequence.
+type refModel struct {
+	live []*Tuple
+}
+
+// insert mirrors Relation.Insert's set semantics: content already present
+// under any tuple object is not inserted again.
+func (m *refModel) insert(t *Tuple) bool {
+	for _, u := range m.live {
+		if u.EqualContent(t) {
+			return false
+		}
+	}
+	m.live = append(m.live, t)
+	return true
+}
+
+func (m *refModel) delete_(key string) bool {
+	for i, u := range m.live {
+		if u.Key() == key {
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// deleteTuple removes by object identity (the semantics of DeleteTuple and
+// DeleteID): a detached duplicate-content tuple that was never stored does
+// not match the stored tuple of equal content.
+func (m *refModel) deleteTuple(tp *Tuple) bool {
+	for i, u := range m.live {
+		if u == tp {
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *refModel) lookup(col int, v Value) []*Tuple {
+	var out []*Tuple
+	for _, u := range m.live {
+		if u.Vals[col].Equal(v) {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// checkAgainstModel compares Len, iteration order, Contains/ContainsID, and
+// per-column Lookup/LookupCount between the relation and the model.
+func checkAgainstModel(t *testing.T, tag string, r *Relation, m *refModel, domain []Value) {
+	t.Helper()
+	if r.Len() != len(m.live) {
+		t.Fatalf("%s: Len = %d, model %d", tag, r.Len(), len(m.live))
+	}
+	got := r.Tuples()
+	if len(got) != len(m.live) {
+		t.Fatalf("%s: iteration length %d, model %d", tag, len(got), len(m.live))
+	}
+	for i := range got {
+		if got[i] != m.live[i] {
+			t.Fatalf("%s: iteration order diverges at %d: %s vs %s", tag, i, got[i], m.live[i])
+		}
+	}
+	for _, u := range m.live {
+		if !r.Contains(u.Key()) || !r.ContainsID(u.TID) || r.Get(u.Key()) != u || r.GetID(u.TID) != u {
+			t.Fatalf("%s: %s should be visible by key and by ID", tag, u)
+		}
+	}
+	for col := 0; col < r.Arity; col++ {
+		for _, v := range domain {
+			want := m.lookup(col, v)
+			have := r.Lookup(col, v)
+			if len(have) != len(want) {
+				t.Fatalf("%s: Lookup(%d, %s) = %d tuples, model %d", tag, col, v, len(have), len(want))
+			}
+			for i := range have {
+				if have[i] != want[i] {
+					t.Fatalf("%s: Lookup(%d, %s)[%d] = %s, model %s", tag, col, v, i, have[i], want[i])
+				}
+			}
+			if n := r.LookupCount(col, v); n != len(want) {
+				t.Fatalf("%s: LookupCount(%d, %s) = %d, model %d", tag, col, v, n, len(want))
+			}
+		}
+	}
+}
+
+// TestRelationAgainstReferenceModel drives interleaved Insert/Delete (by
+// key, by ID, and by tuple), index builds, compaction, and Clone against
+// the naive model, checking the identity invariants after every step.
+func TestRelationAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	domain := []Value{Int(0), Int(1), Int(2), Int(3), Str("a"), Str("b")}
+	randVal := func() Value { return domain[rng.Intn(len(domain))] }
+
+	r := NewRelation("M", 2)
+	m := &refModel{}
+	seq := 0
+	var everInserted []*Tuple
+
+	// Force the index and the intern map alive early so every later
+	// mutation exercises their maintenance paths.
+	r.Lookup(0, Int(0))
+	r.Contains("M(i0,i0)")
+
+	for step := 0; step < 600; step++ {
+		tag := fmt.Sprintf("step %d", step)
+		switch op := rng.Intn(10); {
+		case op < 5: // insert a fresh tuple (possibly duplicate content)
+			seq++
+			tp := mkTuple("M", seq, randVal(), randVal())
+			if r.Insert(tp) != m.insert(tp) {
+				t.Fatalf("%s: insert disagreement for %s", tag, tp)
+			}
+			everInserted = append(everInserted, tp)
+		case op < 6 && len(everInserted) > 0: // re-insert an old tuple object
+			tp := everInserted[rng.Intn(len(everInserted))]
+			if r.Insert(tp) != m.insert(tp) {
+				t.Fatalf("%s: re-insert disagreement for %s", tag, tp)
+			}
+		case op < 8 && len(everInserted) > 0: // delete by key or by tuple/ID
+			tp := everInserted[rng.Intn(len(everInserted))]
+			var got, want bool
+			switch rng.Intn(3) {
+			case 0: // content identity
+				got, want = r.Delete(tp.Key()), m.delete_(tp.Key())
+			case 1: // object identity
+				got, want = r.DeleteTuple(tp), m.deleteTuple(tp)
+			default:
+				got, want = r.DeleteID(tp.TID), m.deleteTuple(tp)
+			}
+			if got != want {
+				t.Fatalf("%s: delete disagreement for %s", tag, tp)
+			}
+		default: // delete a random live tuple to drive compaction
+			if len(m.live) == 0 {
+				continue
+			}
+			tp := m.live[rng.Intn(len(m.live))]
+			if !r.DeleteTuple(tp) || !m.deleteTuple(tp) {
+				t.Fatalf("%s: live delete failed for %s", tag, tp)
+			}
+		}
+		checkAgainstModel(t, tag, r, m, domain)
+	}
+
+	// Clone must agree with the same model, stay correct after further
+	// mutation, and leave the original untouched.
+	c := r.Clone()
+	checkAgainstModel(t, "clone", c, m, domain)
+	mc := &refModel{live: append([]*Tuple(nil), m.live...)}
+	for step := 0; step < 200; step++ {
+		tag := fmt.Sprintf("clone step %d", step)
+		if rng.Intn(2) == 0 {
+			seq++
+			tp := mkTuple("M", seq, randVal(), randVal())
+			if c.Insert(tp) != mc.insert(tp) {
+				t.Fatalf("%s: insert disagreement", tag)
+			}
+		} else if len(mc.live) > 0 {
+			tp := mc.live[rng.Intn(len(mc.live))]
+			if !c.DeleteTuple(tp) || !mc.deleteTuple(tp) {
+				t.Fatalf("%s: delete disagreement", tag)
+			}
+		}
+		checkAgainstModel(t, tag, c, mc, domain)
+	}
+	checkAgainstModel(t, "original after clone mutation", r, m, domain)
+}
+
+// TestRelationIndexSurvivesDeleteReinsert is a regression test: deleting an
+// indexed tuple and re-inserting the same tuple object, with no lookup in
+// between, must not leave a duplicate entry in the index bucket.
+func TestRelationIndexSurvivesDeleteReinsert(t *testing.T) {
+	r := NewRelation("R", 2)
+	t1 := mkTuple("R", 1, Int(7), Int(1))
+	t2 := mkTuple("R", 2, Int(7), Int(2))
+	r.Insert(t1)
+	r.Insert(t2)
+	if n := len(r.Lookup(0, Int(7))); n != 2 { // build the index
+		t.Fatalf("initial Lookup = %d, want 2", n)
+	}
+	r.DeleteTuple(t1)
+	r.Insert(t1) // re-insert while the bucket still holds the stale entry
+	got := r.Lookup(0, Int(7))
+	if len(got) != 2 {
+		t.Fatalf("Lookup after delete+reinsert = %v (%d tuples), want 2", got, len(got))
+	}
+	if r.LookupCount(0, Int(7)) != 2 {
+		t.Fatalf("LookupCount = %d, want 2", r.LookupCount(0, Int(7)))
+	}
+	seen := map[TupleID]bool{}
+	for _, tp := range got {
+		if seen[tp.TID] {
+			t.Fatalf("duplicate tuple %s in lookup result", tp)
+		}
+		seen[tp.TID] = true
 	}
 }

@@ -1,11 +1,40 @@
 package engine
 
-import "strings"
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// TupleID is a dense integer tuple identity, assigned once when a tuple is
+// first inserted into a relation (interned). It is the identity used on
+// every hot path — relation storage, index buckets, join dedup, provenance
+// clauses, and SAT variables — replacing the string content key, which is
+// now computed only for human-readable reports.
+//
+// The zero value means "not yet interned". IDs are unique process-wide
+// (assigned from one atomic 64-bit counter — effectively inexhaustible, and
+// never reclaimed), so tuples can move freely between a database, its
+// clones, and derived scratch relations without re-keying, and long-lived
+// processes that create many databases cannot wrap the ID space.
+type TupleID uint64
+
+// nextTupleID is the global interning counter; see assignTupleID.
+var nextTupleID atomic.Uint64
+
+// assignTupleID interns the tuple, giving it a fresh TupleID unless it
+// already has one. Safe for concurrent use.
+func assignTupleID(t *Tuple) TupleID {
+	if t.TID == 0 {
+		t.TID = TupleID(nextTupleID.Add(1))
+	}
+	return t.TID
+}
 
 // Tuple is an immutable row of a relation. Tuples carry a stable external
 // identifier (ID, e.g. "a2" for the second Author tuple) used in repair
-// reports and in the paper's figures, a content key used for set semantics,
-// and a sequence number fixing a deterministic global order.
+// reports and in the paper's figures, an interned integer identity (TID)
+// used for set semantics everywhere inside the engine, and a sequence
+// number fixing a deterministic global order.
 //
 // Tuples are shared by pointer between a database, its clones, and its delta
 // relations; they must never be mutated after insertion.
@@ -20,18 +49,23 @@ type Tuple struct {
 	// Seq is a database-global insertion sequence number; it defines the
 	// deterministic iteration and tie-breaking order everywhere.
 	Seq int
+	// TID is the interned integer identity, assigned at first insertion
+	// (0 until then). Two stored tuples share a TID iff they are the same
+	// tuple object.
+	TID TupleID
 
-	key string // cached content key
+	key string // cached content key, built lazily for reporting
 }
 
-// NewTuple builds a detached tuple (Seq and ID are set on insertion).
+// NewTuple builds a detached tuple (Seq, ID, and TID are set on insertion).
 func NewTuple(rel string, vals ...Value) *Tuple {
 	return &Tuple{Rel: rel, Vals: vals}
 }
 
 // Key returns the injective content key "Rel(v1,v2,...)". Two tuples with
-// the same relation and values share the same key; the key identifies the
-// tuple in delta relations, provenance formulas, and SAT variables.
+// the same relation and values share the same key. The key exists for
+// human-readable reports, explanations, and key-based lookups at API
+// boundaries; engine-internal identity is TID.
 func (t *Tuple) Key() string {
 	if t.key == "" {
 		t.key = ContentKey(t.Rel, t.Vals)

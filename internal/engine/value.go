@@ -60,11 +60,8 @@ func Int64(i int64) Value { return Value{Kind: KindInt, Int: i} }
 // Int returns an integer value from a machine int.
 func Int(i int) Value { return Value{Kind: KindInt, Int: int64(i)} }
 
-// String_ returns a string value. (Named with a trailing underscore because
-// String is the Stringer method.)
-func String_(s string) Value { return Value{Kind: KindString, Str: s} }
-
-// Str returns a string value; alias of String_ preferred in call sites.
+// Str returns a string value. (Not named String because String is the
+// Stringer method.)
 func Str(s string) Value { return Value{Kind: KindString, Str: s} }
 
 // Float returns a float value.
@@ -139,6 +136,29 @@ func (v Value) String() string {
 		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
 	default:
 		return "'" + v.Str + "'"
+	}
+}
+
+// mapKey returns the canonical form of the value for direct use as a Go map
+// key in hash indexes: only the field matching Kind is populated (defending
+// against hand-built Values with stray fields), and integral floats narrow
+// to KindInt so that cross-kind numeric equality (1 == 1.0, per Equal)
+// agrees with map-key equality. This is what lets indexes probe Values
+// directly instead of building keyString strings on the lookup path.
+//
+// NaN maps to an unreachable key (NaN != NaN), which is consistent with
+// Equal being false for NaN; the engine's numeric domain is finite.
+func (v Value) mapKey() Value {
+	switch v.Kind {
+	case KindInt:
+		return Value{Kind: KindInt, Int: v.Int}
+	case KindFloat:
+		if t := math.Trunc(v.Flt); t == v.Flt && v.Flt >= -9.2233720368547758e18 && v.Flt < 9.2233720368547758e18 {
+			return Value{Kind: KindInt, Int: int64(t)}
+		}
+		return Value{Kind: KindFloat, Flt: v.Flt}
+	default:
+		return Value{Kind: KindString, Str: v.Str}
 	}
 }
 

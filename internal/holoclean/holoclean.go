@@ -68,12 +68,12 @@ func Repair(db *engine.Database, cfg Config) (*Report, *engine.Database, error) 
 		byAid[t.Vals[0].Int] = append(byAid[t.Vals[0].Int], t)
 		byOid[t.Vals[2].Int] = append(byOid[t.Vals[2].Int], t)
 	}
-	noisy := make(map[string]map[int]bool) // tuple key -> conflicted columns
+	noisy := make(map[engine.TupleID]map[int]bool) // tuple -> conflicted columns
 	markNoisy := func(t *engine.Tuple, col int) {
-		m := noisy[t.Key()]
+		m := noisy[t.TID]
 		if m == nil {
 			m = make(map[int]bool)
-			noisy[t.Key()] = m
+			noisy[t.TID] = m
 		}
 		if !m[col] {
 			m[col] = true
@@ -122,9 +122,9 @@ func Repair(db *engine.Database, cfg Config) (*Report, *engine.Database, error) 
 		val engine.Value
 	}
 	var repairs []cellRepair
-	repairedTuple := make(map[string]bool)
+	repairedTuple := make(map[engine.TupleID]bool)
 	for _, t := range tuples {
-		cols := noisy[t.Key()]
+		cols := noisy[t.TID]
 		if cols == nil {
 			continue
 		}
@@ -167,18 +167,18 @@ func Repair(db *engine.Database, cfg Config) (*Report, *engine.Database, error) 
 
 	// --- Apply repairs (UPDATEs as delete+insert under set semantics). ---
 	for _, r := range repairs {
-		if !authors.Contains(r.t.Key()) {
+		if !authors.ContainsTuple(r.t) {
 			continue // an earlier repair already rewrote this tuple
 		}
 		vals := append([]engine.Value(nil), r.t.Vals...)
 		vals[r.col] = r.val
-		authors.Delete(r.t.Key())
+		authors.DeleteTuple(r.t)
 		if _, err := work.Insert("Author", vals...); err != nil {
 			return nil, nil, err
 		}
 		rep.RepairedCells++
-		if !repairedTuple[r.t.Key()] {
-			repairedTuple[r.t.Key()] = true
+		if !repairedTuple[r.t.TID] {
+			repairedTuple[r.t.TID] = true
 			rep.RepairedTuples++
 		}
 	}
@@ -198,10 +198,10 @@ func ViolatingTuples(db *engine.Database, dcs *datalog.Program) ([]int, int, err
 	out := make([]int, len(dcs.Rules))
 	total := 0
 	for i, r := range dcs.Rules {
-		seen := make(map[string]bool)
+		seen := make(map[engine.TupleID]bool)
 		err := datalog.EvalRuleOnDB(db, r, func(a *datalog.Assignment) bool {
 			for _, tp := range a.Tuples {
-				seen[tp.Key()] = true
+				seen[tp.TID] = true
 			}
 			return true
 		})

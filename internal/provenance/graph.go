@@ -2,22 +2,25 @@ package provenance
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+
+	"repro/internal/engine"
 )
 
 // Graph is the provenance graph of §5.2: for every derived delta tuple ∆(t)
 // it stores all assignments deriving it (as clauses), and the layer at
 // which ∆(t) is first derived (the round of the End-semantics evaluation;
 // cf. Figure 5 of the paper). Algorithm 2 traverses the graph layer by
-// layer, choosing tuples by benefit.
+// layer, choosing tuples by benefit. Tuples are identified by their
+// interned engine.TupleID throughout.
 type Graph struct {
-	// Heads lists derived delta tuple keys in first-derivation order.
-	Heads []string
+	// Heads lists derived delta tuple IDs in first-derivation order.
+	Heads []engine.TupleID
 	// Assignments maps each head to its deduplicated deriving clauses.
-	Assignments map[string][]Clause
+	Assignments map[engine.TupleID][]Clause
 	// Layer maps each head to its 1-based first-derivation layer.
-	Layer map[string]int
+	Layer map[engine.TupleID]int
 	// NumLayers is the maximum layer.
 	NumLayers int
 
@@ -27,8 +30,8 @@ type Graph struct {
 // NewGraph creates an empty provenance graph.
 func NewGraph() *Graph {
 	return &Graph{
-		Assignments: make(map[string][]Clause),
-		Layer:       make(map[string]int),
+		Assignments: make(map[engine.TupleID][]Clause),
+		Layer:       make(map[engine.TupleID]int),
 		seen:        make(map[string]bool),
 	}
 }
@@ -37,7 +40,7 @@ func NewGraph() *Graph {
 // layer. The layer is retained only for the first derivation of a head;
 // repeated identical clauses are dropped. It reports whether the clause was
 // recorded.
-func (g *Graph) AddDerivation(head string, layer int, c Clause) bool {
+func (g *Graph) AddDerivation(head engine.TupleID, layer int, c Clause) bool {
 	if _, known := g.Layer[head]; !known {
 		g.Heads = append(g.Heads, head)
 		g.Layer[head] = layer
@@ -45,7 +48,7 @@ func (g *Graph) AddDerivation(head string, layer int, c Clause) bool {
 			g.NumLayers = layer
 		}
 	}
-	key := head + "|" + c.CanonicalKey()
+	key := sigKey(head, c)
 	if g.seen[key] {
 		return false
 	}
@@ -56,8 +59,8 @@ func (g *Graph) AddDerivation(head string, layer int, c Clause) bool {
 
 // LayerHeads returns the heads first derived at the given layer, in
 // derivation order.
-func (g *Graph) LayerHeads(layer int) []string {
-	var out []string
+func (g *Graph) LayerHeads(layer int) []engine.TupleID {
+	var out []engine.TupleID
 	for _, h := range g.Heads {
 		if g.Layer[h] == layer {
 			out = append(out, h)
@@ -80,15 +83,15 @@ func (g *Graph) NumAssignments() int {
 // number of assignments ∆(t) participates in (as a delta dependency). This
 // is exactly the greedy score of Algorithm 2 — deleting a high-benefit
 // tuple voids many derivations while enabling few.
-func (g *Graph) Benefits() map[string]int {
-	b := make(map[string]int)
+func (g *Graph) Benefits() map[engine.TupleID]int {
+	b := make(map[engine.TupleID]int)
 	for _, cs := range g.Assignments {
 		for _, c := range cs {
-			for _, k := range c.Pos {
-				b[k]++
+			for _, id := range c.Pos {
+				b[id]++
 			}
-			for _, k := range c.Neg {
-				b[k]--
+			for _, id := range c.Neg {
+				b[id]--
 			}
 		}
 	}
@@ -96,15 +99,15 @@ func (g *Graph) Benefits() map[string]int {
 }
 
 // String renders a per-layer summary for debugging, e.g.
-// "layer 1: Grant(...)[1 asn]".
+// "layer 1: t12[1]". Resolve IDs through the database for content keys.
 func (g *Graph) String() string {
 	var b strings.Builder
 	for l := 1; l <= g.NumLayers; l++ {
 		fmt.Fprintf(&b, "layer %d:", l)
 		heads := g.LayerHeads(l)
-		sort.Strings(heads)
+		slices.Sort(heads)
 		for _, h := range heads {
-			fmt.Fprintf(&b, " %s[%d]", h, len(g.Assignments[h]))
+			fmt.Fprintf(&b, " t%d[%d]", h, len(g.Assignments[h]))
 		}
 		b.WriteByte('\n')
 	}

@@ -3,17 +3,20 @@
 // 1 for independent semantics) and the layered provenance graph with tuple
 // benefits (used by Algorithm 2 for step semantics).
 //
-// Throughout, tuples are identified by their engine content keys
-// ("Rel(v1,v2)"); a delta tuple ∆(t) is identified by t's key — delta
-// relations share content with their base relations, so no separate key
-// space is needed.
+// Throughout, tuples are identified by their interned engine.TupleID; a
+// delta tuple ∆(t) is identified by t's ID — delta relations share tuples
+// with their base relations, so no separate ID space is needed. Rendering
+// IDs back to readable content keys is the caller's concern (resolve
+// through the database; see internal/viz and core's Explainer).
 package provenance
 
 import (
-	"sort"
+	"fmt"
+	"slices"
 	"strings"
 
 	"repro/internal/datalog"
+	"repro/internal/engine"
 )
 
 // Clause is the provenance of one assignment α: the conjunction of the base
@@ -22,8 +25,8 @@ import (
 // In formula terms the clause is  t₁ ∧ … ∧ tₖ ∧ ¬d₁ ∧ … ∧ ¬dₘ  where
 // negated variables stand for deleted tuples (§5.1).
 type Clause struct {
-	Pos []string
-	Neg []string
+	Pos []engine.TupleID
+	Neg []engine.TupleID
 }
 
 // ClauseOf extracts the provenance clause of an assignment: tuples bound to
@@ -31,53 +34,70 @@ type Clause struct {
 // Duplicates (the same tuple bound by several atoms) are removed, and a
 // tuple bound both positively and as a delta yields both entries (the
 // clause is then unsatisfiable in any consistent state, but Algorithm 1's
-// negation handles it soundly).
+// negation handles it soundly). Rule bodies are short, so dedup is a linear
+// scan over the slices themselves — no maps, no allocation beyond the
+// clause.
 func ClauseOf(asn *datalog.Assignment) Clause {
 	var c Clause
-	seenPos := make(map[string]bool, len(asn.Tuples))
-	seenNeg := make(map[string]bool, 2)
 	for i, tp := range asn.Tuples {
-		key := tp.Key()
+		id := tp.TID
 		if asn.Rule.Body[i].Delta {
-			if !seenNeg[key] {
-				seenNeg[key] = true
-				c.Neg = append(c.Neg, key)
+			if !slices.Contains(c.Neg, id) {
+				c.Neg = append(c.Neg, id)
 			}
-		} else if !seenPos[key] {
-			seenPos[key] = true
-			c.Pos = append(c.Pos, key)
+		} else if !slices.Contains(c.Pos, id) {
+			c.Pos = append(c.Pos, id)
 		}
 	}
 	return c
 }
 
-// CanonicalKey returns a canonical string identifying the clause content,
-// used to deduplicate assignments that bind the same tuple multiset.
-func (c Clause) CanonicalKey() string {
-	pos := append([]string(nil), c.Pos...)
-	neg := append([]string(nil), c.Neg...)
-	sort.Strings(pos)
-	sort.Strings(neg)
-	var b strings.Builder
-	for _, k := range pos {
-		b.WriteByte('+')
-		b.WriteString(k)
-	}
-	for _, k := range neg {
-		b.WriteByte('-')
-		b.WriteString(k)
-	}
-	return b.String()
+// appendID appends one TupleID as 8 little-endian bytes.
+func appendID(buf []byte, id engine.TupleID) []byte {
+	return append(buf,
+		byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
+		byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
 }
 
-// String renders the clause as a conjunction, e.g. "g2 ∧ ¬a2".
+// canonicalSig appends a canonical byte encoding of the clause content to
+// buf and returns it: sorted Pos IDs, a separator, sorted Neg IDs, each ID
+// as 8 little-endian bytes. Used to deduplicate assignments that bind the
+// same tuple multiset without building content-key strings.
+func (c Clause) canonicalSig(buf []byte) []byte {
+	appendIDs := func(ids []engine.TupleID) {
+		sorted := slices.Clone(ids)
+		slices.Sort(sorted)
+		for _, id := range sorted {
+			buf = appendID(buf, id)
+		}
+	}
+	appendIDs(c.Pos)
+	// Single-byte Pos/Neg separator. Re-parsing ambiguity would need an
+	// ID whose encoding straddles the separator position, i.e. an ID of
+	// at least 0xfe<<56 — unreachable for the sequential intern counter.
+	buf = append(buf, 0xfe)
+	appendIDs(c.Neg)
+	return buf
+}
+
+// sigKey builds the dedup map key "head | clause content" as a compact
+// binary string.
+func sigKey(head engine.TupleID, c Clause) string {
+	buf := make([]byte, 0, 24+8*(len(c.Pos)+len(c.Neg)))
+	buf = appendID(buf, head)
+	return string(c.canonicalSig(buf))
+}
+
+// String renders the clause as a conjunction of tuple IDs, e.g.
+// "t3 ∧ ¬t7" (debugging; resolve IDs through the database for readable
+// content keys).
 func (c Clause) String() string {
 	var parts []string
-	for _, k := range c.Pos {
-		parts = append(parts, k)
+	for _, id := range c.Pos {
+		parts = append(parts, fmt.Sprintf("t%d", id))
 	}
-	for _, k := range c.Neg {
-		parts = append(parts, "¬"+k)
+	for _, id := range c.Neg {
+		parts = append(parts, fmt.Sprintf("¬t%d", id))
 	}
 	return strings.Join(parts, " ∧ ")
 }
@@ -86,10 +106,11 @@ func (c Clause) String() string {
 // per assignment, the disjunction of which is the formula F of Algorithm 1.
 // Heads records the delta tuple each clause derives (parallel to Clauses);
 // Algorithm 1 itself only needs the clause bodies, but heads are kept for
-// reporting and tests.
+// reporting and tests. A synthetic head of 0 is permitted (used by the
+// side-effect solver for view-witness clauses).
 type Formula struct {
 	Clauses []Clause
-	Heads   []string
+	Heads   []engine.TupleID
 
 	seen map[string]bool // canonical clause+head dedup
 }
@@ -101,8 +122,8 @@ func NewFormula() *Formula {
 
 // Add records the clause deriving head, deduplicating exact repeats. It
 // reports whether the clause was new.
-func (f *Formula) Add(head string, c Clause) bool {
-	key := head + "|" + c.CanonicalKey()
+func (f *Formula) Add(head engine.TupleID, c Clause) bool {
+	key := sigKey(head, c)
 	if f.seen[key] {
 		return false
 	}
@@ -115,23 +136,23 @@ func (f *Formula) Add(head string, c Clause) bool {
 // Len returns the number of clauses.
 func (f *Formula) Len() int { return len(f.Clauses) }
 
-// TupleKeys returns every distinct tuple key mentioned in the formula
+// TupleIDs returns every distinct tuple ID mentioned in the formula
 // (positively or negatively), in first-occurrence order.
-func (f *Formula) TupleKeys() []string {
-	var out []string
-	seen := make(map[string]bool)
-	add := func(k string) {
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
+func (f *Formula) TupleIDs() []engine.TupleID {
+	var out []engine.TupleID
+	seen := make(map[engine.TupleID]bool)
+	add := func(id engine.TupleID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
 		}
 	}
 	for _, c := range f.Clauses {
-		for _, k := range c.Pos {
-			add(k)
+		for _, id := range c.Pos {
+			add(id)
 		}
-		for _, k := range c.Neg {
-			add(k)
+		for _, id := range c.Neg {
+			add(id)
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -37,13 +38,13 @@ func TestClauseOfSeparatesPosAndNeg(t *testing.T) {
 		t.Fatalf("clauses = %d, want 1", len(clauses))
 	}
 	c := clauses[0]
-	if len(c.Pos) != 1 || c.Pos[0] != r1.Key() {
-		t.Fatalf("Pos = %v, want [%s]", c.Pos, r1.Key())
+	if len(c.Pos) != 1 || c.Pos[0] != r1.TID {
+		t.Fatalf("Pos = %v, want [%d]", c.Pos, r1.TID)
 	}
-	if len(c.Neg) != 1 || c.Neg[0] != s1.Key() {
-		t.Fatalf("Neg = %v, want [%s]", c.Neg, s1.Key())
+	if len(c.Neg) != 1 || c.Neg[0] != s1.TID {
+		t.Fatalf("Neg = %v, want [%d]", c.Neg, s1.TID)
 	}
-	if !strings.Contains(c.String(), "¬"+s1.Key()) {
+	if !strings.Contains(c.String(), fmt.Sprintf("¬t%d", s1.TID)) {
 		t.Fatalf("String = %q missing negation", c.String())
 	}
 }
@@ -67,79 +68,85 @@ func TestClauseOfDeduplicatesRepeatedTuples(t *testing.T) {
 	}
 }
 
-func TestClauseCanonicalKeyOrderInsensitive(t *testing.T) {
-	a := Clause{Pos: []string{"R(i1)", "S(i2)"}, Neg: []string{"T(i3)"}}
-	b := Clause{Pos: []string{"S(i2)", "R(i1)"}, Neg: []string{"T(i3)"}}
-	if a.CanonicalKey() != b.CanonicalKey() {
-		t.Fatal("canonical keys should ignore Pos order")
+func TestClauseSigOrderInsensitive(t *testing.T) {
+	a := Clause{Pos: []engine.TupleID{1, 2}, Neg: []engine.TupleID{3}}
+	b := Clause{Pos: []engine.TupleID{2, 1}, Neg: []engine.TupleID{3}}
+	if sigKey(9, a) != sigKey(9, b) {
+		t.Fatal("canonical sigs should ignore Pos order")
 	}
-	c := Clause{Pos: []string{"R(i1)"}, Neg: []string{"S(i2)", "T(i3)"}}
-	if a.CanonicalKey() == c.CanonicalKey() {
-		t.Fatal("different clauses must have different keys")
+	c := Clause{Pos: []engine.TupleID{1}, Neg: []engine.TupleID{2, 3}}
+	if sigKey(9, a) == sigKey(9, c) {
+		t.Fatal("different clauses must have different sigs")
 	}
 	// Pos vs Neg placement matters.
-	d := Clause{Pos: []string{"R(i1)", "S(i2)", "T(i3)"}}
-	if a.CanonicalKey() == d.CanonicalKey() {
-		t.Fatal("sign placement must be part of the key")
+	d := Clause{Pos: []engine.TupleID{1, 2, 3}}
+	if sigKey(9, a) == sigKey(9, d) {
+		t.Fatal("sign placement must be part of the sig")
+	}
+	// The head is part of the sig.
+	if sigKey(9, a) == sigKey(8, a) {
+		t.Fatal("head must be part of the sig")
 	}
 }
 
-func TestFormulaDedupAndTupleKeys(t *testing.T) {
+func TestFormulaDedupAndTupleIDs(t *testing.T) {
 	f := NewFormula()
-	c1 := Clause{Pos: []string{"R(i1)"}, Neg: []string{"S(i1)"}}
-	if !f.Add("R(i1)", c1) {
+	c1 := Clause{Pos: []engine.TupleID{1}, Neg: []engine.TupleID{2}}
+	if !f.Add(1, c1) {
 		t.Fatal("first add should be new")
 	}
-	if f.Add("R(i1)", Clause{Pos: []string{"R(i1)"}, Neg: []string{"S(i1)"}}) {
+	if f.Add(1, Clause{Pos: []engine.TupleID{1}, Neg: []engine.TupleID{2}}) {
 		t.Fatal("duplicate clause should be dropped")
 	}
-	if !f.Add("R(i2)", c1) {
+	if !f.Add(3, c1) {
 		t.Fatal("same clause under a different head is distinct")
 	}
 	if f.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", f.Len())
 	}
-	keys := f.TupleKeys()
-	if len(keys) != 2 || keys[0] != "R(i1)" || keys[1] != "S(i1)" {
-		t.Fatalf("TupleKeys = %v", keys)
+	ids := f.TupleIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("TupleIDs = %v", ids)
 	}
 }
 
 func TestGraphLayersAndBenefits(t *testing.T) {
-	g := NewGraph()
+	// IDs: g=1, a4=2, ag4=3, a5=4, ag5=5.
+	const g, a4, ag4, a5, ag5 = 1, 2, 3, 4, 5
+	gr := NewGraph()
 	// Layer 1: ∆(g) via {g}; layer 2: ∆(a) via {a, ag, ¬g} twice-ish.
-	if !g.AddDerivation("G(i2)", 1, Clause{Pos: []string{"G(i2)"}}) {
+	if !gr.AddDerivation(g, 1, Clause{Pos: []engine.TupleID{g}}) {
 		t.Fatal("first derivation should record")
 	}
-	g.AddDerivation("A(i4)", 2, Clause{Pos: []string{"A(i4)", "AG(i4)"}, Neg: []string{"G(i2)"}})
-	g.AddDerivation("A(i5)", 2, Clause{Pos: []string{"A(i5)", "AG(i5)"}, Neg: []string{"G(i2)"}})
-	// Duplicate clause for A(i4) dropped.
-	if g.AddDerivation("A(i4)", 3, Clause{Pos: []string{"A(i4)", "AG(i4)"}, Neg: []string{"G(i2)"}}) {
+	gr.AddDerivation(a4, 2, Clause{Pos: []engine.TupleID{a4, ag4}, Neg: []engine.TupleID{g}})
+	gr.AddDerivation(a5, 2, Clause{Pos: []engine.TupleID{a5, ag5}, Neg: []engine.TupleID{g}})
+	// Duplicate clause for a4 dropped.
+	if gr.AddDerivation(a4, 3, Clause{Pos: []engine.TupleID{a4, ag4}, Neg: []engine.TupleID{g}}) {
 		t.Fatal("duplicate clause should be dropped")
 	}
 	// Layer is fixed by the first derivation.
-	if g.Layer["A(i4)"] != 2 {
-		t.Fatalf("layer = %d, want 2", g.Layer["A(i4)"])
+	if gr.Layer[a4] != 2 {
+		t.Fatalf("layer = %d, want 2", gr.Layer[a4])
 	}
-	if g.NumLayers != 2 {
-		t.Fatalf("NumLayers = %d, want 2", g.NumLayers)
+	if gr.NumLayers != 2 {
+		t.Fatalf("NumLayers = %d, want 2", gr.NumLayers)
 	}
-	if heads := g.LayerHeads(2); len(heads) != 2 {
+	if heads := gr.LayerHeads(2); len(heads) != 2 {
 		t.Fatalf("layer-2 heads = %v", heads)
 	}
-	if g.NumAssignments() != 3 {
-		t.Fatalf("NumAssignments = %d, want 3", g.NumAssignments())
+	if gr.NumAssignments() != 3 {
+		t.Fatalf("NumAssignments = %d, want 3", gr.NumAssignments())
 	}
-	b := g.Benefits()
-	// G(i2): +1 (own assignment) -2 (delta dep of two A assignments) = -1.
-	if b["G(i2)"] != -1 {
-		t.Fatalf("benefit[G] = %d, want -1", b["G(i2)"])
+	b := gr.Benefits()
+	// g: +1 (own assignment) -2 (delta dep of two a assignments) = -1.
+	if b[g] != -1 {
+		t.Fatalf("benefit[g] = %d, want -1", b[g])
 	}
-	// A(i4): +1; AG(i4): +1.
-	if b["A(i4)"] != 1 || b["AG(i4)"] != 1 {
+	// a4: +1; ag4: +1.
+	if b[a4] != 1 || b[ag4] != 1 {
 		t.Fatalf("benefits = %v", b)
 	}
-	if s := g.String(); !strings.Contains(s, "layer 1:") || !strings.Contains(s, "layer 2:") {
+	if s := gr.String(); !strings.Contains(s, "layer 1:") || !strings.Contains(s, "layer 2:") {
 		t.Fatalf("String = %q", s)
 	}
 }
@@ -149,36 +156,37 @@ func TestGraphLayersAndBenefits(t *testing.T) {
 // g2:-1, a3:-1, p2:2(*), w2:3, c:1, ag2/ag3 not derived (∅ benefit in the
 // figure because they have no delta node; they participate in assignments).
 func TestGraphMatchesPaperFigure5(t *testing.T) {
+	// Tuple IDs standing in for the paper's named tuples.
+	const g2, a2, ag2, a3, ag3, p1, w1, p2, w2, c = 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+	ids := func(xs ...engine.TupleID) []engine.TupleID { return xs }
 	g := NewGraph()
 	// Rule (0): ∆(g2) from {g2}.
-	g.AddDerivation("g2", 1, Clause{Pos: []string{"g2"}})
+	g.AddDerivation(g2, 1, Clause{Pos: ids(g2)})
 	// Rule (1): ∆(a2) from {a2, ag2, ¬g2}; ∆(a3) from {a3, ag3, ¬g2}.
-	g.AddDerivation("a2", 2, Clause{Pos: []string{"a2", "ag2"}, Neg: []string{"g2"}})
-	g.AddDerivation("a3", 2, Clause{Pos: []string{"a3", "ag3"}, Neg: []string{"g2"}})
+	g.AddDerivation(a2, 2, Clause{Pos: ids(a2, ag2), Neg: ids(g2)})
+	g.AddDerivation(a3, 2, Clause{Pos: ids(a3, ag3), Neg: ids(g2)})
 	// Rules (2)/(3): ∆(p1), ∆(w1) from {p1, w1, ¬a2}; ∆(p2), ∆(w2) from {p2, w2, ¬a3}.
-	g.AddDerivation("p1", 3, Clause{Pos: []string{"p1", "w1"}, Neg: []string{"a2"}})
-	g.AddDerivation("w1", 3, Clause{Pos: []string{"p1", "w1"}, Neg: []string{"a2"}})
-	g.AddDerivation("p2", 3, Clause{Pos: []string{"p2", "w2"}, Neg: []string{"a3"}})
-	g.AddDerivation("w2", 3, Clause{Pos: []string{"p2", "w2"}, Neg: []string{"a3"}})
-	// Rule (4): ∆(c) from {c, w1 (writes a1,c=7), w2 (writes a2,p=6?), ¬p1}.
-	// In the running database, Writes(a1,c)=w2 (author 5 writes 7=c) and
-	// Writes(a2,p)=w1 (author 4 writes 6=p).
-	g.AddDerivation("c", 4, Clause{Pos: []string{"c", "w1", "w2"}, Neg: []string{"p1"}})
+	g.AddDerivation(p1, 3, Clause{Pos: ids(p1, w1), Neg: ids(a2)})
+	g.AddDerivation(w1, 3, Clause{Pos: ids(p1, w1), Neg: ids(a2)})
+	g.AddDerivation(p2, 3, Clause{Pos: ids(p2, w2), Neg: ids(a3)})
+	g.AddDerivation(w2, 3, Clause{Pos: ids(p2, w2), Neg: ids(a3)})
+	// Rule (4): ∆(c) from {c, w1, w2, ¬p1}.
+	g.AddDerivation(c, 4, Clause{Pos: ids(c, w1, w2), Neg: ids(p1)})
 
 	b := g.Benefits()
-	want := map[string]int{
-		"g2": 1 - 2, // own + delta-dep of a2, a3
-		"a2": 1 - 2, // own + delta-dep of p1/w1 clause (one clause shared? two clauses)
-		"a3": 1 - 2,
-		"w1": 3, // p1 clause, w1 clause, c clause
-		"w2": 3,
-		"p1": 2 - 1, // p1+w1 clauses positively, delta-dep of c
-		"p2": 2,
-		"c":  1,
+	want := map[engine.TupleID]int{
+		g2: 1 - 2, // own + delta-dep of a2, a3
+		a2: 1 - 2, // own + delta-dep of p1/w1 clause (two clauses)
+		a3: 1 - 2,
+		w1: 3, // p1 clause, w1 clause, c clause
+		w2: 3,
+		p1: 2 - 1, // p1+w1 clauses positively, delta-dep of c
+		p2: 2,
+		c:  1,
 	}
 	for k, wv := range want {
 		if b[k] != wv {
-			t.Errorf("benefit[%s] = %d, want %d", k, b[k], wv)
+			t.Errorf("benefit[t%d] = %d, want %d", k, b[k], wv)
 		}
 	}
 	if g.NumLayers != 4 {

@@ -127,13 +127,13 @@ func (s *Session) cmdStatus() error {
 
 // currentCandidates enumerates the distinct heads deletable right now.
 func (s *Session) currentCandidates() ([]*engine.Tuple, error) {
-	seen := make(map[string]bool)
+	seen := make(map[engine.TupleID]bool)
 	var heads []*engine.Tuple
 	for _, r := range s.prog.Rules {
 		err := datalog.EvalRuleOnDB(s.work, r, func(a *datalog.Assignment) bool {
 			h := a.Head()
-			if !seen[h.Key()] {
-				seen[h.Key()] = true
+			if !seen[h.TID] {
+				seen[h.TID] = true
 				heads = append(heads, h)
 			}
 			return true
@@ -183,11 +183,11 @@ func (s *Session) cmdFire(args []string) error {
 		return nil
 	}
 	h := s.candidates[k-1]
-	if !s.work.Relation(h.Rel).Contains(h.Key()) {
+	if !s.work.Relation(h.Rel).ContainsTuple(h) {
 		fmt.Fprintf(s.out, "%s is no longer live; re-run 'violations'\n", h)
 		return nil
 	}
-	s.work.DeleteToDelta(h.Key())
+	s.work.DeleteTupleToDelta(h)
 	s.fired = append(s.fired, h)
 	fmt.Fprintf(s.out, "deleted %s (%d so far)\n", h, len(s.fired))
 	return nil
@@ -205,7 +205,7 @@ func (s *Session) cmdUndo() error {
 	s.fired = s.fired[:len(s.fired)-1]
 	s.work = s.orig.Clone()
 	for _, t := range s.fired {
-		s.work.DeleteToDelta(t.Key())
+		s.work.DeleteTupleToDelta(t)
 	}
 	s.candidates = nil
 	fmt.Fprintf(s.out, "undid deletion of %s\n", last)
@@ -285,7 +285,7 @@ func (s *Session) cmdExplain(args []string) error {
 		s.explainer = ex
 	}
 	h := s.candidates[k-1]
-	if e := s.explainer.Explain(h.Key()); e != nil {
+	if e := s.explainer.ExplainTuple(h); e != nil {
 		fmt.Fprint(s.out, e.String())
 	} else {
 		fmt.Fprintf(s.out, "%s has no recorded derivation\n", h)

@@ -13,6 +13,7 @@ package sat
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -20,11 +21,12 @@ import (
 // Formula is a CNF formula over variables 1..NumVars. Literals are signed
 // integers: +v means "v is true", -v means "v is false". Duplicate clauses
 // are stored once (delta-rule provenance frequently derives the same CNF
-// clause from several rules or symmetric join orders).
+// clause from several rules or symmetric join orders); dedup hashes the
+// sorted literal slice directly — no string keys are built on this path.
 type Formula struct {
 	numVars int
 	clauses [][]int
-	seen    map[string]bool
+	seen    map[uint64][]int32 // clause hash -> indexes of clauses with it
 }
 
 // NewFormula creates a formula over numVars variables.
@@ -69,18 +71,31 @@ func (f *Formula) AddClause(lits ...int) error {
 	}
 	sort.Ints(clause)
 	if f.seen == nil {
-		f.seen = make(map[string]bool)
+		f.seen = make(map[uint64][]int32)
 	}
-	var key strings.Builder
-	for _, l := range clause {
-		fmt.Fprintf(&key, "%d,", l)
+	h := hashLits(clause)
+	for _, ci := range f.seen[h] {
+		if slices.Equal(f.clauses[ci], clause) {
+			return nil // duplicate clause
+		}
 	}
-	if f.seen[key.String()] {
-		return nil // duplicate clause
-	}
-	f.seen[key.String()] = true
+	f.seen[h] = append(f.seen[h], int32(len(f.clauses)))
 	f.clauses = append(f.clauses, clause)
 	return nil
+}
+
+// hashLits is an FNV-1a hash over a sorted literal slice.
+func hashLits(lits []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, l := range lits {
+		x := uint64(uint32(int32(l)))
+		for i := 0; i < 4; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
 }
 
 // Clause returns the i-th stored clause (shared slice; do not mutate).

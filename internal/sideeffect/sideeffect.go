@@ -15,6 +15,8 @@ package sideeffect
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -109,8 +111,54 @@ type Row struct {
 	Witnesses [][]*engine.Tuple
 }
 
-// Key renders the row's values for matching.
-func (r *Row) Key() string { return engine.ContentKey("view", r.Values) }
+// Key renders the row's values for display and matching in reports.
+func (r *Row) Key() string { return valuesKey(r.Values) }
+
+// valuesKey renders a value list as "view(...)" for row grouping and
+// display. View rows are projections, not stored tuples, so they have no
+// interned TupleID; a rendered key is their only identity. The encoding is
+// injective: strings are quoted (embedded commas or quotes cannot collide)
+// and numerics are normalized so 1 and 1.0 group together, matching
+// Value.Equal.
+func valuesKey(vals []engine.Value) string {
+	var b strings.Builder
+	b.WriteString("view(")
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch v.Kind {
+		case engine.KindString:
+			b.WriteString(strconv.Quote(v.Str))
+		case engine.KindInt:
+			b.WriteString(strconv.FormatInt(v.Int, 10))
+		default:
+			// Normalize integral floats to int form so 1.0 groups with 1,
+			// mirroring Value.Equal; non-integral floats format exactly.
+			if f := v.Flt; f == float64(int64(f)) {
+				b.WriteString(strconv.FormatInt(int64(f), 10))
+			} else {
+				b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// MatchesRow reports whether the row's values equal target (cross-kind
+// numeric equality, as in Value.Equal).
+func (r *Row) MatchesRow(target []engine.Value) bool {
+	if len(r.Values) != len(target) {
+		return false
+	}
+	for i := range target {
+		if !r.Values[i].Equal(target[i]) {
+			return false
+		}
+	}
+	return true
+}
 
 // Eval computes the view over the database's live base relations,
 // grouping witness assignments by output row.
@@ -133,7 +181,7 @@ func (v *View) Eval(db *engine.Database) ([]*Row, error) {
 				}
 			}
 		}
-		key := engine.ContentKey("view", vals)
+		key := valuesKey(vals)
 		row := rows[key]
 		if row == nil {
 			row = &Row{Values: vals}
@@ -187,10 +235,9 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 	if err != nil {
 		return nil, nil, err
 	}
-	targetKey := engine.ContentKey("view", target)
 	var row *Row
 	for _, r := range rows {
-		if r.Key() == targetKey {
+		if r.MatchesRow(target) {
 			row = r
 			break
 		}
@@ -201,22 +248,23 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 
 	// Build the formula: per witness, delete at least one participating
 	// tuple; plus the program's stability clauses (Algorithm 1 form).
+	// Tuples are identified by interned ID throughout; witness clauses get
+	// the synthetic head 0 (the view row is not a stored tuple).
 	formula := provenance.NewFormula()
 	for _, w := range row.Witnesses {
 		c := provenance.Clause{}
-		seen := make(map[string]bool)
+		seen := make(map[engine.TupleID]bool, len(w))
 		for _, tp := range w {
-			if !seen[tp.Key()] {
-				seen[tp.Key()] = true
-				// Witness tuples are "Neg" in Algorithm 1's encoding
-				// convention? No: the requirement is the *opposite* of a
-				// stability clause — we NEED one deletion per witness. We
-				// encode witnesses directly as positive SAT clauses below,
-				// so collect them as Pos here.
-				c.Pos = append(c.Pos, tp.Key())
+			if !seen[tp.TID] {
+				seen[tp.TID] = true
+				// The requirement is the *opposite* of a stability clause —
+				// we NEED one deletion per witness. We encode witnesses
+				// directly as positive SAT clauses below, so collect them
+				// as Pos here.
+				c.Pos = append(c.Pos, tp.TID)
 			}
 		}
-		formula.Add("view:"+targetKey, c)
+		formula.Add(0, c)
 	}
 
 	maxClauses := opts.MaxClauses
@@ -228,7 +276,7 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		for _, r := range p.Rules {
 			var evalErr error
 			err := datalog.EvalRule(r, datalog.SourcesFor(db, r, datalog.DeltaFromBase), func(asn *datalog.Assignment) bool {
-				stability.Add(asn.Head().Key(), provenance.ClauseOf(asn))
+				stability.Add(asn.Head().TID, provenance.ClauseOf(asn))
 				if stability.Len() > maxClauses {
 					evalErr = fmt.Errorf("sideeffect: stability formula exceeded %d clauses", maxClauses)
 					return false
@@ -245,36 +293,36 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 	}
 
 	// Variable space: all tuples mentioned anywhere.
-	varOf := make(map[string]int)
-	keys := []string{}
-	intern := func(k string) int {
-		if id, ok := varOf[k]; ok {
-			return id
+	varOf := make(map[engine.TupleID]int)
+	ids := []engine.TupleID{}
+	intern := func(id engine.TupleID) int {
+		if v, ok := varOf[id]; ok {
+			return v
 		}
-		id := len(keys) + 1
-		varOf[k] = id
-		keys = append(keys, k)
-		return id
+		v := len(ids) + 1
+		varOf[id] = v
+		ids = append(ids, id)
+		return v
 	}
 	var clauses [][]int
 	for _, c := range formula.Clauses {
 		lits := make([]int, 0, len(c.Pos))
-		for _, k := range c.Pos {
-			lits = append(lits, intern(k)) // witness: delete one of these
+		for _, id := range c.Pos {
+			lits = append(lits, intern(id)) // witness: delete one of these
 		}
 		clauses = append(clauses, lits)
 	}
 	for _, c := range stability.Clauses {
 		lits := make([]int, 0, len(c.Pos)+len(c.Neg))
-		for _, k := range c.Pos {
-			lits = append(lits, intern(k))
+		for _, id := range c.Pos {
+			lits = append(lits, intern(id))
 		}
-		for _, k := range c.Neg {
-			lits = append(lits, -intern(k))
+		for _, id := range c.Neg {
+			lits = append(lits, -intern(id))
 		}
 		clauses = append(clauses, lits)
 	}
-	cnf := sat.NewFormula(len(keys))
+	cnf := sat.NewFormula(len(ids))
 	for _, lits := range clauses {
 		if err := cnf.AddClause(lits...); err != nil {
 			return nil, nil, err
@@ -287,14 +335,13 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 
 	work := db.Clone()
 	var deleted []*engine.Tuple
-	for i, k := range keys {
+	for i, id := range ids {
 		if solved.Assignment[i+1] {
-			t := work.Lookup(k)
-			if t == nil {
-				return nil, nil, fmt.Errorf("sideeffect: unknown tuple %s", k)
+			t := db.LookupID(id)
+			if t == nil || !work.DeleteTupleToDelta(t) {
+				return nil, nil, fmt.Errorf("sideeffect: unknown tuple t%d", id)
 			}
 			deleted = append(deleted, t)
-			work.DeleteToDelta(k)
 		}
 	}
 	// Verify: view tuple gone and (when a program is given) database stable.
@@ -303,7 +350,7 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		return nil, nil, err
 	}
 	for _, r := range after {
-		if r.Key() == targetKey {
+		if r.MatchesRow(target) {
 			return nil, nil, fmt.Errorf("sideeffect: internal error: view tuple survived")
 		}
 	}

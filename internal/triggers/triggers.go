@@ -196,7 +196,7 @@ func (ex *executor) matchHeads(t *Trigger, eventRow *engine.Tuple) ([]*engine.Tu
 	for i, a := range t.Rule.Body {
 		switch {
 		case i == t.deltaIdx:
-			single := engine.NewRelation(a.Rel, len(eventRow.Vals))
+			single := engine.NewScratchRelation(a.Rel, len(eventRow.Vals))
 			single.Insert(eventRow)
 			sources[i] = datalog.AtomSource{single}
 		case a.Delta:
@@ -206,11 +206,11 @@ func (ex *executor) matchHeads(t *Trigger, eventRow *engine.Tuple) ([]*engine.Tu
 		}
 	}
 	var heads []*engine.Tuple
-	seen := make(map[string]bool)
+	seen := make(map[engine.TupleID]bool)
 	err := datalog.EvalRule(t.Rule, sources, func(asn *datalog.Assignment) bool {
 		h := asn.Head()
-		if !seen[h.Key()] {
-			seen[h.Key()] = true
+		if !seen[h.TID] {
+			seen[h.TID] = true
 			heads = append(heads, h)
 		}
 		return true
@@ -222,13 +222,13 @@ func (ex *executor) matchHeads(t *Trigger, eventRow *engine.Tuple) ([]*engine.Tu
 // row, depth-first.
 func (ex *executor) deleteAndCascade(rows []*engine.Tuple) error {
 	for _, row := range rows {
-		if !ex.work.Relation(row.Rel).Contains(row.Key()) {
+		if !ex.work.Relation(row.Rel).ContainsTuple(row) {
 			continue // already deleted by an earlier cascade
 		}
 		if len(ex.res.Deleted) >= ex.guard {
 			return fmt.Errorf("triggers: cascade deleted more tuples than the database holds")
 		}
-		ex.work.DeleteToDelta(row.Key())
+		ex.work.DeleteTupleToDelta(row)
 		ex.res.Deleted = append(ex.res.Deleted, row)
 		for _, t := range ex.byEvent[row.Rel] {
 			heads, err := ex.matchHeads(t, row)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/provenance"
 )
 
@@ -23,7 +24,14 @@ func escape(s string) string {
 // as ellipses ranked by derivation layer, and an edge from every
 // participating tuple to each delta tuple it helps derive (solid for
 // positive participation, dashed for delta dependencies).
-func ProvenanceDOT(g *provenance.Graph) string {
+//
+// The graph identifies tuples by interned ID; name resolves an ID to its
+// display label (typically Database.LookupID + Tuple.Key). A nil name
+// renders bare "t<id>" labels.
+func ProvenanceDOT(g *provenance.Graph, name func(engine.TupleID) string) string {
+	if name == nil {
+		name = func(id engine.TupleID) string { return fmt.Sprintf("t%d", id) }
+	}
 	var b strings.Builder
 	b.WriteString("digraph provenance {\n")
 	b.WriteString("  rankdir=BT;\n  node [fontsize=10];\n")
@@ -38,27 +46,31 @@ func ProvenanceDOT(g *provenance.Graph) string {
 		}
 		fmt.Fprintf(&b, "  { rank=same; // layer %d\n", layer)
 		for _, h := range heads {
-			fmt.Fprintf(&b, "    \"d:%s\" [label=\"Δ(%s)\", shape=ellipse];\n", escape(h), escape(h))
+			n := name(h)
+			fmt.Fprintf(&b, "    \"d:%s\" [label=\"Δ(%s)\", shape=ellipse];\n", escape(n), escape(n))
 		}
 		b.WriteString("  }\n")
 	}
 
 	// Base tuple nodes: every tuple mentioned in any clause.
-	baseSeen := make(map[string]bool)
+	baseSeen := make(map[engine.TupleID]bool)
 	var baseOrder []string
+	benefitOf := make(map[string]int)
 	for _, h := range g.Heads {
 		for _, c := range g.Assignments[h] {
-			for _, k := range c.Pos {
-				if !baseSeen[k] {
-					baseSeen[k] = true
-					baseOrder = append(baseOrder, k)
+			for _, id := range c.Pos {
+				if !baseSeen[id] {
+					baseSeen[id] = true
+					n := name(id)
+					baseOrder = append(baseOrder, n)
+					benefitOf[n] = benefits[id]
 				}
 			}
 		}
 	}
 	sort.Strings(baseOrder)
-	for _, k := range baseOrder {
-		fmt.Fprintf(&b, "  \"t:%s\" [label=\"%s, %d\", shape=box];\n", escape(k), escape(k), benefits[k])
+	for _, n := range baseOrder {
+		fmt.Fprintf(&b, "  \"t:%s\" [label=\"%s, %d\", shape=box];\n", escape(n), escape(n), benefitOf[n])
 	}
 
 	// Edges: per assignment, positive tuples (solid) and delta deps
@@ -73,13 +85,13 @@ func ProvenanceDOT(g *provenance.Graph) string {
 		fmt.Fprintf(&b, "  %s -> %s [style=%s];\n", from, to, style)
 	}
 	for _, h := range g.Heads {
-		target := fmt.Sprintf("\"d:%s\"", escape(h))
+		target := fmt.Sprintf("\"d:%s\"", escape(name(h)))
 		for _, c := range g.Assignments[h] {
-			for _, k := range c.Pos {
-				edge(fmt.Sprintf("\"t:%s\"", escape(k)), target, "solid")
+			for _, id := range c.Pos {
+				edge(fmt.Sprintf("\"t:%s\"", escape(name(id))), target, "solid")
 			}
-			for _, k := range c.Neg {
-				edge(fmt.Sprintf("\"d:%s\"", escape(k)), target, "dashed")
+			for _, id := range c.Neg {
+				edge(fmt.Sprintf("\"d:%s\"", escape(name(id))), target, "dashed")
 			}
 		}
 	}

@@ -33,7 +33,7 @@ func TestProvenanceDOTFigure5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dot := ProvenanceDOT(g)
+	dot := ProvenanceDOT(g, func(id engine.TupleID) string { return db.LookupID(id).Key() })
 	// Structural spot checks against Figure 5.
 	for _, want := range []string{
 		"digraph provenance",

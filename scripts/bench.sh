@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Run the full benchmark suite and record a dated JSON snapshot
+# (BENCH_<date>.json) so the perf trajectory is tracked PR over PR.
+#
+# Usage: ./scripts/bench.sh [extra go-test args...]
+#   e.g. ./scripts/bench.sh -benchtime=10x
+set -eu
+
+cd "$(dirname "$0")/.."
+
+date="$(date -u +%Y-%m-%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (this regenerates every paper table/figure)..."
+# No pipe into tee: plain sh has no pipefail, and a masked go-test failure
+# would produce a silently truncated snapshot.
+go test -bench=. -benchmem -run='^$' "$@" . > "$raw"
+cat "$raw"
+
+# Convert `go test -bench` lines into a JSON array of
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+awk -v date="$date" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix for stable names
+    bytes = ""; allocs = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", date, name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
