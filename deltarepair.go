@@ -178,6 +178,62 @@ func RepairAll(db *Database, p *Program) (map[Semantics]*Result, error) {
 	return core.RunAll(db, p)
 }
 
+// Prepared is a program compiled for repeated execution: validation, rule
+// compilation, per-source-shape join planning, and index-requirement
+// analysis all happen once in Prepare, and every Repair call on the result
+// reuses them together with pooled execution state. Server-style callers
+// answering many repair requests over one schema should prepare once and
+// call Repair per request; a Prepared is safe for concurrent use.
+type Prepared struct {
+	prog *Program
+	prep *datalog.Prepared
+}
+
+// Prepare compiles a validated program against its schema for repeated
+// repair execution.
+func Prepare(p *Program, schema *Schema) (*Prepared, error) {
+	prep, err := datalog.Prepare(p, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{prog: p, prep: prep}, nil
+}
+
+// Program returns the prepared program.
+func (pp *Prepared) Program() *Program { return pp.prog }
+
+// Repair computes the stabilizing set under the chosen semantics using the
+// prepared plans. Like Repair, the input database is cloned, never mutated.
+func (pp *Prepared) Repair(db *Database, sem Semantics) (*Result, *Database, error) {
+	return pp.RepairWith(db, sem, Options{})
+}
+
+// RepairWith is Prepared.Repair with explicit options (solver budgets,
+// Parallelism for concurrent per-rule evaluation, etc.).
+func (pp *Prepared) RepairWith(db *Database, sem Semantics, opts Options) (*Result, *Database, error) {
+	opts.Prepared = pp.prep
+	return core.RunWith(db, pp.prog, sem, opts)
+}
+
+// RepairAll runs all four semantics over the prepared program.
+func (pp *Prepared) RepairAll(db *Database) (map[Semantics]*Result, error) {
+	out := make(map[Semantics]*Result, len(AllSemantics))
+	for _, sem := range AllSemantics {
+		res, _, err := pp.Repair(db, sem)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sem, err)
+		}
+		out[sem] = res
+	}
+	return out, nil
+}
+
+// IsStable reports whether the database satisfies no rule of the prepared
+// program, reusing the prepared plans (Def. 3.12).
+func (pp *Prepared) IsStable(db *Database) (bool, error) {
+	return core.CheckStableP(db, pp.prep)
+}
+
 // IsStable reports whether the database satisfies no rule of the program
 // (Def. 3.12): a stable database needs no repair.
 func IsStable(db *Database, p *Program) (bool, error) {

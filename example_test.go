@@ -56,6 +56,35 @@ func ExampleRepairAll() {
 	// end: 2 deleted
 }
 
+// ExamplePrepare demonstrates the amortized server-style flow: validate
+// and plan the program once, then repair many databases over the same
+// schema. Each Repair call reuses the compiled rules, the per-shape join
+// plans, and pooled execution state.
+func ExamplePrepare() {
+	schema, _ := deltarepair.ParseSchema(`
+		Dept(id)
+		Emp(id, dept)
+	`)
+	prog, _ := deltarepair.ParseProgram(`
+		Delta_Dept(d) :- Dept(d), d > 1.
+		Delta_Emp(e, d) :- Emp(e, d), Delta_Dept(d).
+	`, schema)
+	pp, _ := deltarepair.Prepare(prog, schema) // once per program
+
+	for _, nDepts := range []int{2, 3} { // once per request
+		db := deltarepair.NewDatabase(schema)
+		for d := 1; d <= nDepts; d++ {
+			db.MustInsert("Dept", deltarepair.Int(d))
+			db.MustInsert("Emp", deltarepair.Int(10*d), deltarepair.Int(d))
+		}
+		res, _, _ := pp.Repair(db, deltarepair.Stage)
+		fmt.Printf("%d departments: %d deletions\n", nDepts, res.Size())
+	}
+	// Output:
+	// 2 departments: 2 deletions
+	// 3 departments: 4 deletions
+}
+
 // ExampleIsStable shows stability checking before and after a repair.
 func ExampleIsStable() {
 	schema, _ := deltarepair.ParseSchema(`N(v)`)

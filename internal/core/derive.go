@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/datalog"
 	"repro/internal/engine"
@@ -26,12 +27,17 @@ type deriveConfig struct {
 	// re-evaluates every rule against the full delta contents. Used only
 	// by the evaluation-strategy ablation benchmark; results are identical.
 	naive bool
+	// parallelism sets the per-round rule-evaluation worker count; 0 or 1
+	// evaluates rules sequentially. Results are byte-identical either way:
+	// workers only fill per-rule emit buffers, and the buffers are merged
+	// in deterministic rule-then-enumeration order.
+	parallelism int
 }
 
-// derive runs seminaive rounds of the delta program over work (mutated in
-// place: deltas always grow; bases shrink only under shrinkBases). It
-// returns the derived delta tuples in derivation order and the number of
-// rounds until fixpoint.
+// derive runs seminaive rounds of the prepared delta program over work
+// (mutated in place: deltas always grow; bases shrink only under
+// shrinkBases). It returns the derived delta tuples in derivation order and
+// the number of rounds until fixpoint.
 //
 // Seminaive justification: under end semantics bases never shrink, so any
 // assignment's validity persists and each assignment is enumerated exactly
@@ -40,19 +46,25 @@ type deriveConfig struct {
 // been valid (and fired, deleting its head) one stage earlier — hence every
 // genuinely new assignment uses a frontier delta and the same pass
 // structure is sound.
-func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*engine.Tuple, int, error) {
+//
+// Within a round, rules are independent: every rule reads the same
+// pre-round state (live bases, old deltas, the frontier) and all updates
+// happen after the round. That is what makes per-rule parallel evaluation
+// sound — and the deterministic merge makes it exact, not just
+// set-equivalent. The caller must have pre-built the prepared plans' base
+// index requirements on work (Prepared.WarmIndexes), so evaluation performs
+// no writes on shared relations.
+func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]*engine.Tuple, int, error) {
 	schema := work.Schema
-	old := make(map[string]*engine.Relation, len(schema.Relations))
-	frontier := make(map[string]*engine.Relation, len(schema.Relations))
+	old, frontier := prep.AcquireScratch()
+	defer prep.ReleaseScratch(old, frontier)
 	for _, rs := range schema.Relations {
-		old[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
-		fr := engine.NewScratchRelation(rs.Name, rs.Arity())
 		// Pre-existing deltas (user-initiated deletions) seed the frontier.
+		fr := frontier[rs.Name]
 		work.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
 			fr.Insert(t)
 			return true
 		})
-		frontier[rs.Name] = fr
 	}
 
 	maxRounds := cfg.maxRounds
@@ -64,42 +76,69 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 	derivedSet := make(map[engine.TupleID]bool)
 	rounds := 0
 
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
+
+	var newHeads []*engine.Tuple
+	newSet := make(map[engine.TupleID]bool)
+
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return nil, rounds, fmt.Errorf("core: derivation did not converge after %d rounds", maxRounds)
 		}
-		var newHeads []*engine.Tuple
-		newSet := make(map[engine.TupleID]bool)
+		newHeads = newHeads[:0]
+		clear(newSet)
 
-		for _, rule := range p.Rules {
-			nDelta := rule.DeltaBodyCount()
-			if nDelta == 0 && round > 1 && !cfg.naive {
+		// process applies the shared per-assignment logic; it is the single
+		// code path for both execution modes, invoked in (rule, pass,
+		// enumeration) order either inline or from merged buffers.
+		process := func(rule *datalog.Rule, asn *datalog.Assignment) {
+			head := asn.Head()
+			id := head.TID
+			if cfg.capture != nil {
+				// AddDerivation keeps the first layer for a known head.
+				cfg.capture.AddDerivation(id, round, provenance.ClauseOf(asn))
+			}
+			if !derivedSet[id] && !newSet[id] && !work.Delta(rule.Head.Rel).ContainsID(id) {
+				newSet[id] = true
+				newHeads = append(newHeads, head)
+			}
+		}
+
+		var eligible []int
+		for ri, pr := range prep.Rules {
+			if pr.NumDeltaBody() == 0 && round > 1 && !cfg.naive {
 				continue // condition rules fire only against D⁰/stage 1
 			}
-			passes := 1
-			if nDelta > 0 && !cfg.naive {
-				passes = nDelta
-			}
-			for pass := 0; pass < passes; pass++ {
-				var sources []datalog.AtomSource
-				if cfg.naive {
-					sources = buildNaiveSources(work, rule, old, frontier)
-				} else {
-					sources = buildPassSources(work, rule, old, frontier, pass)
-				}
-				err := datalog.EvalRule(rule, sources, func(asn *datalog.Assignment) bool {
-					head := asn.Head()
-					id := head.TID
-					if cfg.capture != nil {
-						// AddDerivation keeps the first layer for a known head.
-						cfg.capture.AddDerivation(id, round, provenance.ClauseOf(asn))
-					}
-					if !derivedSet[id] && !newSet[id] && !work.Delta(rule.Head.Rel).ContainsID(id) {
-						newSet[id] = true
-						newHeads = append(newHeads, head)
-					}
-					return true
+			eligible = append(eligible, ri)
+		}
+
+		if cfg.parallelism > 1 && len(eligible) > 1 {
+			bufs := make([][]*datalog.Assignment, len(prep.Rules))
+			errs := forEachRuleParallel(prep, cfg.parallelism, eligible,
+				func(ri int, ctx *datalog.ExecContext) error {
+					return evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
+						func(asn *datalog.Assignment) bool {
+							bufs[ri] = append(bufs[ri], asn)
+							return true
+						})
 				})
+			for _, ri := range eligible {
+				if errs[ri] != nil {
+					return nil, rounds, errs[ri]
+				}
+				for _, asn := range bufs[ri] {
+					process(prep.Rules[ri].Rule, asn)
+				}
+			}
+		} else {
+			for _, ri := range eligible {
+				rule := prep.Rules[ri].Rule
+				err := evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
+					func(asn *datalog.Assignment) bool {
+						process(rule, asn)
+						return true
+					})
 				if err != nil {
 					return nil, rounds, err
 				}
@@ -112,15 +151,19 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 		}
 		rounds = round
 
-		// Rotate frontier into old, install new heads as the next frontier,
-		// and record the deletions.
+		// Rotate frontier into old (recycling the frontier relations in
+		// place), install new heads as the next frontier, and record the
+		// deletions.
 		for _, rs := range schema.Relations {
 			fr := frontier[rs.Name]
+			if fr.Len() == 0 {
+				continue
+			}
 			fr.Scan(func(t *engine.Tuple) bool {
 				old[rs.Name].Insert(t)
 				return true
 			})
-			frontier[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+			fr.Reset()
 		}
 		for _, head := range newHeads {
 			derivedSet[head.TID] = true
@@ -132,8 +175,68 @@ func derive(work *engine.Database, p *datalog.Program, cfg deriveConfig) ([]*eng
 			}
 			work.Delta(head.Rel).Insert(head)
 		}
+		if cfg.shrinkBases && cfg.parallelism > 1 {
+			// Flush index staleness left by the base deletions so the next
+			// round's concurrent lookups perform no bucket compaction.
+			for _, head := range newHeads {
+				work.Relation(head.Rel).SyncIndexes()
+			}
+		}
 	}
 	return derivedAll, rounds, nil
+}
+
+// forEachRuleParallel runs eval(ri, ctx) for every listed rule on a pool
+// of up to par workers, each holding a pooled execution context. It returns
+// per-rule errors indexed like prep.Rules; callers merge per-rule outputs
+// in rule order afterwards, which is what keeps parallel execution
+// byte-identical to sequential. eval must only read shared state.
+func forEachRuleParallel(prep *datalog.Prepared, par int, rules []int,
+	eval func(ri int, ctx *datalog.ExecContext) error) []error {
+
+	errs := make([]error, len(prep.Rules))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if par > len(rules) {
+		par = len(rules)
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := prep.AcquireContext()
+			defer prep.ReleaseContext(ctx)
+			for ri := range jobs {
+				errs[ri] = eval(ri, ctx)
+			}
+		}()
+	}
+	for _, ri := range rules {
+		jobs <- ri
+	}
+	close(jobs)
+	wg.Wait()
+	return errs
+}
+
+// evalRuleRound evaluates one rule's passes for one round, emitting every
+// assignment in deterministic enumeration order. It only reads work, old,
+// and frontier, so distinct rules can run concurrently.
+func evalRuleRound(work *engine.Database, prep *datalog.Prepared, ri int, naive bool,
+	old, frontier map[string]*engine.Relation, ctx *datalog.ExecContext,
+	emit func(*datalog.Assignment) bool) error {
+
+	pr := prep.Rules[ri]
+	rule := pr.Rule
+	if naive || pr.NumDeltaBody() == 0 {
+		return pr.EvalNaive(buildNaiveSources(work, rule, old, frontier), ctx, emit)
+	}
+	for pass := 0; pass < pr.NumDeltaBody(); pass++ {
+		if err := pr.EvalPass(pass, buildPassSources(work, rule, old, frontier, pass), ctx, emit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildNaiveSources assembles per-atom sources for naive evaluation: every

@@ -15,7 +15,15 @@ import (
 //
 // The returned database is the repaired instance (D \ S) ∪ ∆(S).
 func RunEnd(db *engine.Database, p *datalog.Program) (*Result, *engine.Database, error) {
-	res, work, _, err := runEndCaptured(db, p, false)
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runEnd(db, prep, 0)
+}
+
+func runEnd(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
+	res, work, _, err := runEndCaptured(db, prep, false, par)
 	return res, work, err
 }
 
@@ -24,7 +32,11 @@ func RunEnd(db *engine.Database, p *datalog.Program) (*Result, *engine.Database,
 // deletions. The graph underlies Algorithm 2, the Explainer, and the DOT
 // visualization.
 func CaptureProvenance(db *engine.Database, p *datalog.Program) (*provenance.Graph, error) {
-	_, _, graph, err := runEndCaptured(db, p, true)
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, err
+	}
+	_, _, graph, err := runEndCaptured(db, prep, true, 0)
 	return graph, err
 }
 
@@ -34,9 +46,13 @@ func CaptureProvenance(db *engine.Database, p *datalog.Program) (*provenance.Gra
 // exists for the evaluation-strategy ablation benchmark (the paper's
 // implementation uses "standard naïve evaluation", §6).
 func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Database, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
 	work := db.Clone()
 	start := time.Now()
-	derived, rounds, err := derive(work, p, deriveConfig{naive: true})
+	derived, rounds, err := derive(work, prep, deriveConfig{naive: true})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, err
@@ -52,18 +68,23 @@ func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Data
 	return res, work, nil
 }
 
-// runEndCaptured is RunEnd optionally capturing the provenance graph for
+// runEndCaptured is runEnd optionally capturing the provenance graph for
 // Algorithm 2 (step semantics): the graph records every assignment of the
 // end-semantics derivation with its round as the layer.
-func runEndCaptured(db *engine.Database, p *datalog.Program, capture bool) (*Result, *engine.Database, *provenance.Graph, error) {
+func runEndCaptured(db *engine.Database, prep *datalog.Prepared, capture bool, par int) (*Result, *engine.Database, *provenance.Graph, error) {
 	work := db.Clone()
+	if par > 1 {
+		// Parallel rule evaluation reads base relations concurrently: build
+		// the probed indexes up front so lookups perform no writes.
+		prep.WarmSeminaiveIndexes(work)
+	}
 	var graph *provenance.Graph
 	if capture {
 		graph = provenance.NewGraph()
 	}
 
 	start := time.Now()
-	derived, rounds, err := derive(work, p, deriveConfig{shrinkBases: false, capture: graph})
+	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: false, capture: graph, parallelism: par})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, nil, err

@@ -70,7 +70,11 @@ type Explainer struct {
 // database is not modified; it is retained (read-only) to render tuple IDs
 // as content keys.
 func NewExplainer(db *engine.Database, p *datalog.Program) (*Explainer, error) {
-	_, _, graph, err := runEndCaptured(db, p, true)
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, err
+	}
+	_, _, graph, err := runEndCaptured(db, prep, true, 0)
 	if err != nil {
 		return nil, err
 	}

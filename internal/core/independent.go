@@ -49,6 +49,14 @@ const DefaultMaxClauses = 5_000_000
 // The returned database is the repaired instance; Result.Optimal reports
 // whether the solver proved minimality.
 func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOptions) (*Result, *engine.Database, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runIndependent(db, prep, 0, opts)
+}
+
+func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*Result, *engine.Database, error) {
 	maxClauses := opts.MaxClauses
 	if maxClauses <= 0 {
 		maxClauses = DefaultMaxClauses
@@ -59,36 +67,78 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	// range over every *possible* deletion: all live base tuples plus any
 	// tuples already deleted before this run (the §3.6 "user deletes a
 	// specific set of tuples" initialization); the latter are forced
-	// deleted in the CNF below.
+	// deleted in the CNF below. Rules are independent here, so with
+	// par > 1 each rule's sweep runs on a worker; per-rule clause buffers
+	// are merged in rule order, keeping the formula (and therefore SAT
+	// variable numbering and the solver's tie-breaking) byte-identical to
+	// the sequential sweep.
 	evalStart := time.Now()
-	sourcesFor := func(r *datalog.Rule) []datalog.AtomSource {
-		out := make([]datalog.AtomSource, len(r.Body))
-		for i, a := range r.Body {
-			if a.Delta {
-				out[i] = datalog.AtomSource{db.Relation(a.Rel), db.Delta(a.Rel)}
-			} else {
-				out[i] = datalog.AtomSource{db.Relation(a.Rel)}
-			}
-		}
-		return out
-	}
 	formula := provenance.NewFormula()
-	for _, r := range p.Rules {
-		var evalErr error
-		err := datalog.EvalRule(r, sourcesFor(r), func(asn *datalog.Assignment) bool {
-			formula.Add(asn.Head().TID, provenance.ClauseOf(asn))
-			if formula.Len() > maxClauses {
-				evalErr = fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
-				return false
+	if par > 1 && len(prep.Rules) > 1 {
+		// Concurrent sweeps read base and delta relations: build the probed
+		// indexes up front (and flush bucket staleness from any earlier
+		// deletions) so lookups perform no writes.
+		prep.WarmFromBaseIndexes(db)
+		// Each worker dedups its rule's clauses into a private formula —
+		// the same canonical dedup the merged formula applies — so the cap
+		// check counts distinct clauses exactly like the sequential sweep
+		// (a self-join emits each clause body twice but stores it once). A
+		// single rule exceeding the cap on its own distinct clauses dooms
+		// the merged total, so stopping that rule early is safe.
+		allRules := make([]int, len(prep.Rules))
+		for ri := range prep.Rules {
+			allRules[ri] = ri
+		}
+		locals := make([]*provenance.Formula, len(prep.Rules))
+		overflow := make([]bool, len(prep.Rules))
+		errs := forEachRuleParallel(prep, par, allRules,
+			func(ri int, ctx *datalog.ExecContext) error {
+				locals[ri] = provenance.NewFormula()
+				return prep.Rules[ri].EvalFromBase(db, true, ctx, func(asn *datalog.Assignment) bool {
+					locals[ri].Add(asn.Head().TID, provenance.ClauseOf(asn))
+					if locals[ri].Len() > maxClauses {
+						overflow[ri] = true
+						return false
+					}
+					return true
+				})
+			})
+		for ri := range prep.Rules {
+			if errs[ri] != nil {
+				return nil, nil, errs[ri]
 			}
-			return true
-		})
-		if err != nil {
-			return nil, nil, err
+			if overflow[ri] {
+				return nil, nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+			}
+			for ci, c := range locals[ri].Clauses {
+				formula.Add(locals[ri].Heads[ci], c)
+			}
+			if formula.Len() > maxClauses {
+				return nil, nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+			}
 		}
-		if evalErr != nil {
-			return nil, nil, evalErr
+	} else {
+		ctx := prep.AcquireContext()
+		var evalErr error
+		for _, pr := range prep.Rules {
+			err := pr.EvalFromBase(db, true, ctx, func(asn *datalog.Assignment) bool {
+				formula.Add(asn.Head().TID, provenance.ClauseOf(asn))
+				if formula.Len() > maxClauses {
+					evalErr = fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				prep.ReleaseContext(ctx)
+				return nil, nil, err
+			}
+			if evalErr != nil {
+				prep.ReleaseContext(ctx)
+				return nil, nil, evalErr
+			}
 		}
+		prep.ReleaseContext(ctx)
 	}
 	evalDur := time.Since(evalStart)
 
@@ -135,7 +185,7 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	// steering equal-cost optima toward sets other semantics contain.
 	var prefer []int
 	if !opts.DisablePreferDerivable {
-		if _, _, graph, err := runEndCaptured(db, p, true); err == nil {
+		if _, _, graph, err := runEndCaptured(db, prep, true, par); err == nil {
 			heads := append([]engine.TupleID(nil), graph.Heads...)
 			idx := make(map[engine.TupleID]int, len(heads))
 			for i, h := range heads {
@@ -199,7 +249,7 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	}
 	// Safety net: the satisfying assignment must stabilize (correctness of
 	// Algorithm 1); verify and fail loudly rather than return a bad repair.
-	stable, err := CheckStable(work, p)
+	stable, err := CheckStableP(work, prep)
 	if err != nil {
 		return nil, nil, err
 	}

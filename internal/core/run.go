@@ -12,6 +12,17 @@ import (
 type Options struct {
 	// Independent configures Algorithm 1 when sem == SemIndependent.
 	Independent IndependentOptions
+	// Parallelism sets the per-round rule-evaluation worker count inside
+	// the executors (seminaive derivation and Algorithm 1's provenance
+	// sweep); 0 or 1 evaluates sequentially. Results are byte-identical to
+	// sequential execution: workers fill per-rule buffers that are merged
+	// in deterministic rule-then-enumeration order.
+	Parallelism int
+	// Prepared supplies a pre-compiled execution plan (datalog.Prepare) so
+	// repeated runs amortize validation and join planning. It must have
+	// been prepared from the same program passed to RunWith. Nil means
+	// prepare on the fly.
+	Prepared *datalog.Prepared
 }
 
 // Run executes the chosen semantics with default options and returns the
@@ -23,15 +34,27 @@ func Run(db *engine.Database, p *datalog.Program, sem Semantics) (*Result, *engi
 
 // RunWith is Run with explicit options.
 func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Options) (*Result, *engine.Database, error) {
+	prep := opts.Prepared
+	if prep == nil {
+		var err error
+		prep, err = datalog.Prepare(p, db.Schema)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if p != nil && prep.Program != p {
+		return nil, nil, fmt.Errorf("core: prepared plan was built from a different program")
+	} else if err := prep.CompatibleWith(db.Schema); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
 	switch sem {
 	case SemEnd:
-		return RunEnd(db, p)
+		return runEnd(db, prep, opts.Parallelism)
 	case SemStage:
-		return RunStage(db, p)
+		return runStage(db, prep, opts.Parallelism)
 	case SemStep:
-		return RunStepGreedy(db, p)
+		return runStepGreedy(db, prep, opts.Parallelism, StepGreedyOptions{})
 	case SemIndependent:
-		return RunIndependent(db, p, opts.Independent)
+		return runIndependent(db, prep, opts.Parallelism, opts.Independent)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown semantics %v", sem)
 	}

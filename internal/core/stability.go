@@ -11,8 +11,24 @@ import (
 // (Def. 3.12): no rule has a satisfying assignment over the current state
 // (live bases joined with recorded deltas).
 func CheckStable(db *engine.Database, p *datalog.Program) (bool, error) {
-	for _, r := range p.Rules {
-		ok, err := datalog.HasAssignment(db, r)
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return false, err
+	}
+	return CheckStableP(db, prep)
+}
+
+// CheckStableP is CheckStable over a prepared program: repeated stability
+// probes (server loops, the step debugger) reuse the prepared plans and a
+// pooled execution context instead of re-planning per call.
+func CheckStableP(db *engine.Database, prep *datalog.Prepared) (bool, error) {
+	if err := prep.CompatibleWith(db.Schema); err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
+	for _, pr := range prep.Rules {
+		ok, err := pr.HasAssignment(db, ctx)
 		if err != nil {
 			return false, err
 		}

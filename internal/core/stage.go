@@ -15,9 +15,22 @@ import (
 //
 // The returned database is the repaired instance (D \ S) ∪ ∆(S).
 func RunStage(db *engine.Database, p *datalog.Program) (*Result, *engine.Database, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runStage(db, prep, 0)
+}
+
+func runStage(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
 	work := db.Clone()
+	if par > 1 {
+		// Parallel rule evaluation reads base relations concurrently: build
+		// the probed indexes up front so lookups perform no writes.
+		prep.WarmSeminaiveIndexes(work)
+	}
 	start := time.Now()
-	derived, rounds, err := derive(work, p, deriveConfig{shrinkBases: true})
+	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: true, parallelism: par})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, err

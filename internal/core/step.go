@@ -38,8 +38,16 @@ type StepGreedyOptions struct {
 
 // RunStepGreedyWithOptions is RunStepGreedy with explicit options.
 func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts StepGreedyOptions) (*Result, *engine.Database, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runStepGreedy(db, prep, 0, opts)
+}
+
+func runStepGreedy(db *engine.Database, prep *datalog.Prepared, par int, opts StepGreedyOptions) (*Result, *engine.Database, error) {
 	// Phase 1 (Eval): end run with provenance capture.
-	endRes, _, graph, err := runEndCaptured(db, p, true)
+	endRes, _, graph, err := runEndCaptured(db, prep, true, par)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -178,16 +186,27 @@ type StepExhaustiveOptions struct {
 // DefaultMaxStepStates is the exhaustive search's default state budget.
 const DefaultMaxStepStates = 250_000
 
-// stateSig encodes a sorted deletion set as a compact binary string for
-// visited-state dedup (8 bytes per tuple ID).
-func stateSig(ids []engine.TupleID) string {
-	buf := make([]byte, 0, 8*len(ids))
-	for _, id := range ids {
-		buf = append(buf,
-			byte(id), byte(id>>8), byte(id>>16), byte(id>>24),
-			byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
+// stateSig condenses a sorted deletion set into a 64-bit signature for
+// visited-state dedup, mixing each tuple ID through an FNV-1a/avalanche
+// round. Compared with the former binary-string key this removes the
+// per-candidate string allocation and shrinks the visited set by ~an order
+// of magnitude. The signature is a hash, not an exact key: two distinct
+// states collide with probability ~n²/2⁶⁴ — about 10⁻⁹ at the default
+// 250 000-state budget — which is negligible for the small validation
+// instances the exhaustive search exists for.
+func stateSig(tuples []*engine.Tuple) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, t := range tuples {
+		h ^= uint64(t.TID)
+		h *= 1099511628211 // FNV-1a prime
 	}
-	return string(buf)
+	// Final avalanche (splitmix64 tail) so near-identical sets spread.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // RunStepExhaustive computes the true Step(P, D): the minimum-size deletion
@@ -199,20 +218,19 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStepStates
 	}
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
 
 	type state struct {
 		tuples []*engine.Tuple // deletion set, sorted by TupleID
 	}
-	sigOf := func(st state) string {
-		ids := make([]engine.TupleID, len(st.tuples))
-		for i, t := range st.tuples {
-			ids[i] = t.TID
-		}
-		return stateSig(ids)
-	}
 
 	start := time.Now()
-	visited := map[string]bool{"": true}
+	visited := map[uint64]bool{stateSig(nil): true}
 	frontier := []state{{}}
 
 	for len(frontier) > 0 {
@@ -227,8 +245,8 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 			// Enumerate all current assignments; collect candidate heads.
 			headSet := make(map[engine.TupleID]bool)
 			var heads []*engine.Tuple
-			for _, r := range p.Rules {
-				err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
+			for _, pr := range prep.Rules {
+				err := pr.EvalOperational(work, ctx, func(a *datalog.Assignment) bool {
 					h := a.Head()
 					if !headSet[h.TID] {
 						headSet[h.TID] = true
@@ -256,7 +274,7 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 					return cmp.Compare(a.TID, b.TID)
 				})
 				cand := state{tuples: tuples}
-				sk := sigOf(cand)
+				sk := stateSig(cand.tuples)
 				if visited[sk] {
 					continue
 				}
@@ -278,6 +296,12 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 // trigger-firing order can produce; the result is a stabilizing set but not
 // necessarily a small one.
 func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result, *engine.Database, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
 	work := db.Clone()
 	start := time.Now()
@@ -288,8 +312,8 @@ func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result
 		}
 		var heads []*engine.Tuple
 		headSet := make(map[engine.TupleID]bool)
-		for _, r := range p.Rules {
-			err := datalog.EvalRuleOnDB(work, r, func(a *datalog.Assignment) bool {
+		for _, pr := range prep.Rules {
+			err := pr.EvalOperational(work, ctx, func(a *datalog.Assignment) bool {
 				h := a.Head()
 				if !headSet[h.TID] {
 					headSet[h.TID] = true

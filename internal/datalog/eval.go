@@ -81,6 +81,11 @@ func SourcesFor(db *engine.Database, rule *Rule, mode DeltaMode) []AtomSource {
 // sources, invoking emit for each; emit returning false stops enumeration
 // early. The rule must have been validated (SelfIdx resolved). Enumeration
 // order is deterministic.
+//
+// This entry point plans the join order per call from the live source
+// cardinalities. Repeated executions over the same program should go
+// through Prepare, which plans once per source shape and reuses pooled
+// execution state.
 func EvalRule(rule *Rule, sources []AtomSource, emit func(*Assignment) bool) error {
 	if rule.SelfIdx < 0 {
 		return fmt.Errorf("datalog: rule %s not validated", ruleName(rule))
@@ -89,26 +94,9 @@ func EvalRule(rule *Rule, sources []AtomSource, emit func(*Assignment) bool) err
 		return fmt.Errorf("datalog: rule %s: %d sources for %d body atoms", ruleName(rule), len(sources), len(rule.Body))
 	}
 	cr := rule.compile()
-	ev := &evaluator{
-		rule:     rule,
-		cr:       cr,
-		sources:  sources,
-		bindings: make([]engine.Value, cr.nvars),
-		bound:    make([]bool, cr.nvars),
-		tuples:   make([]*engine.Tuple, len(rule.Body)),
-		emit:     emit,
-	}
-	ev.planOrder()
-	// Constant-only comparisons gate the whole rule.
-	for _, c := range cr.comps {
-		if c.left.varID < 0 && c.right.varID < 0 {
-			if !c.op.Eval(c.left.constVal, c.right.constVal) {
-				return nil
-			}
-		}
-	}
-	ev.run(0)
-	return nil
+	pl := planFor(cr, func(i int) int { return sources[i].totalLen() })
+	ctx := NewExecContext()
+	return evalPlan(rule, cr, pl, sources, ctx, emit)
 }
 
 // EvalRuleOnDB enumerates assignments with the standard operational sources
@@ -149,6 +137,9 @@ type compiledRule struct {
 	nvars int
 	atoms []compiledAtom
 	comps []compiledComp
+	// constFalse marks a rule gated off by a constant-only comparison that
+	// evaluates to false: the rule can never have an assignment.
+	constFalse bool
 }
 
 // compile numbers the rule's variables and inlines constants; the result
@@ -183,59 +174,70 @@ func (r *Rule) doCompile() {
 	}
 	cr.comps = make([]compiledComp, len(r.Comps))
 	for i, c := range r.Comps {
-		cr.comps[i] = compiledComp{left: intern(c.Left), right: intern(c.Right), op: c.Op}
+		cc := compiledComp{left: intern(c.Left), right: intern(c.Right), op: c.Op}
+		if cc.left.varID < 0 && cc.right.varID < 0 && !cc.op.Eval(cc.left.constVal, cc.right.constVal) {
+			cr.constFalse = true
+		}
+		cr.comps[i] = cc
 	}
 	cr.nvars = len(ids)
 	r.compiled = cr
 }
 
-// ---------- evaluation ----------
+// ---------- join planning ----------
 
-type evaluator struct {
-	rule    *Rule
-	cr      *compiledRule
-	sources []AtomSource
-
-	order    []int   // body atom indexes in join order
-	compAt   [][]int // comparisons runnable after each depth
-	bindings []engine.Value
-	bound    []bool
-	tuples   []*engine.Tuple // per body atom (original indexing)
-	fresh    [][]int         // per-depth scratch for binding undo
-	emit     func(*Assignment) bool
-	stopped  bool
+// plan is a static join strategy for one rule under one source shape: the
+// join order, the per-depth index-probe column, and the comparison
+// schedule. Plans are immutable once built and shared freely between
+// concurrent evaluations; EvalRule builds one per call (sized from the
+// live sources), Prepare builds one per (rule, source shape) up front.
+type plan struct {
+	order  []int   // body atom indexes in join order
+	lookup []int   // per depth: column probed via index, -1 = full scan
+	compAt [][]int // comparisons runnable after each depth
 }
 
-// planOrder picks a greedy join order: repeatedly select the atom with the
-// most bound terms (constants + already-bound variables), breaking ties by
-// smaller source cardinality, then by original position. Comparisons are
-// scheduled at the first depth where both sides are bound.
-func (ev *evaluator) planOrder() {
-	n := len(ev.cr.atoms)
+// planFor computes the greedy join order: repeatedly select the atom with
+// the most bound terms (constants + already-bound variables), breaking ties
+// by smaller weight (live cardinality for per-call plans, a static
+// source-shape rank for prepared plans), then by original position.
+// Comparisons are scheduled at the first depth where both sides are bound,
+// and the index-probe column of each depth — the first column whose term is
+// a constant or a variable bound at an earlier depth — is fixed statically.
+func planFor(cr *compiledRule, weight func(atom int) int) *plan {
+	n := len(cr.atoms)
 	used := make([]bool, n)
-	varBound := make([]bool, ev.cr.nvars)
-	ev.order = make([]int, 0, n)
+	varBound := make([]bool, cr.nvars)
+	pl := &plan{order: make([]int, 0, n), lookup: make([]int, n)}
 
-	for len(ev.order) < n {
-		best, bestScore, bestSize := -1, -1, 0
+	for len(pl.order) < n {
+		best, bestScore, bestWeight := -1, -1, 0
 		for i := 0; i < n; i++ {
 			if used[i] {
 				continue
 			}
 			score := 0
-			for _, t := range ev.cr.atoms[i].terms {
+			for _, t := range cr.atoms[i].terms {
 				if t.varID < 0 || varBound[t.varID] {
 					score++
 				}
 			}
-			size := ev.sources[i].totalLen()
-			if best == -1 || score > bestScore || (score == bestScore && size < bestSize) {
-				best, bestScore, bestSize = i, score, size
+			w := weight(i)
+			if best == -1 || score > bestScore || (score == bestScore && w < bestWeight) {
+				best, bestScore, bestWeight = i, score, w
 			}
 		}
 		used[best] = true
-		ev.order = append(ev.order, best)
-		for _, t := range ev.cr.atoms[best].terms {
+		// Fix the probe column before the atom's own variables bind.
+		pl.lookup[len(pl.order)] = -1
+		for col, t := range cr.atoms[best].terms {
+			if t.varID < 0 || varBound[t.varID] {
+				pl.lookup[len(pl.order)] = col
+				break
+			}
+		}
+		pl.order = append(pl.order, best)
+		for _, t := range cr.atoms[best].terms {
 			if t.varID >= 0 {
 				varBound[t.varID] = true
 			}
@@ -243,19 +245,19 @@ func (ev *evaluator) planOrder() {
 	}
 
 	// Schedule comparisons.
-	ev.compAt = make([][]int, n)
-	varDepth := make([]int, ev.cr.nvars)
+	pl.compAt = make([][]int, n)
+	varDepth := make([]int, cr.nvars)
 	for i := range varDepth {
 		varDepth[i] = -1
 	}
-	for d, ai := range ev.order {
-		for _, t := range ev.cr.atoms[ai].terms {
+	for d, ai := range pl.order {
+		for _, t := range cr.atoms[ai].terms {
 			if t.varID >= 0 && varDepth[t.varID] < 0 {
 				varDepth[t.varID] = d
 			}
 		}
 	}
-	for ci, c := range ev.cr.comps {
+	for ci, c := range cr.comps {
 		d := -1
 		for _, t := range []cTerm{c.left, c.right} {
 			if t.varID >= 0 {
@@ -269,23 +271,89 @@ func (ev *evaluator) planOrder() {
 			}
 		}
 		if d >= 0 {
-			ev.compAt[d] = append(ev.compAt[d], ci)
+			pl.compAt[d] = append(pl.compAt[d], ci)
 		}
 	}
+	return pl
+}
 
-	// Per-depth undo scratch, sized to each atom's arity.
-	ev.fresh = make([][]int, n)
-	for d, ai := range ev.order {
-		ev.fresh[d] = make([]int, 0, len(ev.cr.atoms[ai].terms))
+// ---------- evaluation ----------
+
+// ExecContext is the reusable per-evaluation state: variable bindings,
+// bound flags, the per-atom tuple vector, and per-depth undo scratch. A
+// context is private to one evaluation at a time but can be reused across
+// any number of sequential evaluations (of different rules) without
+// reallocating; Prepared pools them so repeated runs allocate near-zero.
+type ExecContext struct {
+	bindings []engine.Value
+	bound    []bool
+	tuples   []*engine.Tuple
+	fresh    [][]int
+}
+
+// NewExecContext returns an empty context; it grows to fit each rule it
+// evaluates.
+func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// ensure sizes the context for a rule with nvars variables and natoms body
+// atoms and clears the bound flags (cheap, and it keeps a context that was
+// abandoned mid-join — an early stop or a panicking emit callback — from
+// poisoning its next evaluation).
+func (ctx *ExecContext) ensure(nvars, natoms int) {
+	if cap(ctx.bindings) < nvars {
+		ctx.bindings = make([]engine.Value, nvars)
+		ctx.bound = make([]bool, nvars)
 	}
+	ctx.bindings = ctx.bindings[:nvars]
+	ctx.bound = ctx.bound[:nvars]
+	for i := range ctx.bound {
+		ctx.bound[i] = false
+	}
+	if cap(ctx.tuples) < natoms {
+		ctx.tuples = make([]*engine.Tuple, natoms)
+	}
+	ctx.tuples = ctx.tuples[:natoms]
+	for len(ctx.fresh) < natoms {
+		ctx.fresh = append(ctx.fresh, nil)
+	}
+}
+
+type evaluator struct {
+	rule    *Rule
+	cr      *compiledRule
+	pl      *plan
+	sources []AtomSource
+	ctx     *ExecContext
+	emit    func(*Assignment) bool
+	stopped bool
+}
+
+// evalPlan enumerates the rule's assignments following the given plan,
+// using ctx for all mutable state. The sources must match the plan's shape
+// (same per-atom indexing as rule.Body).
+func evalPlan(rule *Rule, cr *compiledRule, pl *plan, sources []AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	if cr.constFalse {
+		return nil // gated off by a constant-only comparison
+	}
+	ctx.ensure(cr.nvars, len(cr.atoms))
+	ev := &evaluator{rule: rule, cr: cr, pl: pl, sources: sources, ctx: ctx, emit: emit}
+	ev.run(0)
+	if ev.stopped {
+		// Early stop leaves bindings mid-join; scrub so the context can be
+		// reused (normal completion unwinds every binding on its own).
+		for i := range ctx.bound {
+			ctx.bound[i] = false
+		}
+	}
+	return nil
 }
 
 func (ev *evaluator) termValue(t cTerm) (engine.Value, bool) {
 	if t.varID < 0 {
 		return t.constVal, true
 	}
-	if ev.bound[t.varID] {
-		return ev.bindings[t.varID], true
+	if ev.ctx.bound[t.varID] {
+		return ev.ctx.bindings[t.varID], true
 	}
 	return engine.Value{}, false
 }
@@ -295,24 +363,22 @@ func (ev *evaluator) run(depth int) {
 	if ev.stopped {
 		return
 	}
-	if depth == len(ev.order) {
-		asn := &Assignment{Rule: ev.rule, Tuples: append([]*engine.Tuple(nil), ev.tuples...)}
+	ctx := ev.ctx
+	if depth == len(ev.pl.order) {
+		asn := &Assignment{Rule: ev.rule, Tuples: append([]*engine.Tuple(nil), ctx.tuples...)}
 		if !ev.emit(asn) {
 			ev.stopped = true
 		}
 		return
 	}
-	ai := ev.order[depth]
+	ai := ev.pl.order[depth]
 	atom := ev.cr.atoms[ai]
 
-	// Pick a bound column for index lookup, if any.
-	lookupCol := -1
+	// The probe column is fixed by the plan; resolve its value now.
+	lookupCol := ev.pl.lookup[depth]
 	var lookupVal engine.Value
-	for col, t := range atom.terms {
-		if v, ok := ev.termValue(t); ok {
-			lookupCol, lookupVal = col, v
-			break
-		}
+	if lookupCol >= 0 {
+		lookupVal, _ = ev.termValue(atom.terms[lookupCol])
 	}
 
 	tryTuple := func(tp *engine.Tuple) bool {
@@ -320,7 +386,7 @@ func (ev *evaluator) run(depth int) {
 			return false
 		}
 		// Match terms; record fresh bindings for undo.
-		fresh := ev.fresh[depth][:0]
+		fresh := ctx.fresh[depth][:0]
 		ok := true
 		for col, t := range atom.terms {
 			v := tp.Vals[col]
@@ -331,20 +397,21 @@ func (ev *evaluator) run(depth int) {
 				}
 				continue
 			}
-			if ev.bound[t.varID] {
-				if !ev.bindings[t.varID].Equal(v) {
+			if ctx.bound[t.varID] {
+				if !ctx.bindings[t.varID].Equal(v) {
 					ok = false
 					break
 				}
 				continue
 			}
-			ev.bound[t.varID] = true
-			ev.bindings[t.varID] = v
+			ctx.bound[t.varID] = true
+			ctx.bindings[t.varID] = v
 			fresh = append(fresh, t.varID)
 		}
+		ctx.fresh[depth] = fresh
 		undo := func() {
 			for _, id := range fresh {
-				ev.bound[id] = false
+				ctx.bound[id] = false
 			}
 		}
 		if !ok {
@@ -352,7 +419,7 @@ func (ev *evaluator) run(depth int) {
 			return true
 		}
 		// Run comparisons that just became fully bound.
-		for _, ci := range ev.compAt[depth] {
+		for _, ci := range ev.pl.compAt[depth] {
 			c := ev.cr.comps[ci]
 			lv, _ := ev.termValue(c.left)
 			rv, _ := ev.termValue(c.right)
@@ -361,9 +428,9 @@ func (ev *evaluator) run(depth int) {
 				return true
 			}
 		}
-		ev.tuples[ai] = tp
+		ctx.tuples[ai] = tp
 		ev.run(depth + 1)
-		ev.tuples[ai] = nil
+		ctx.tuples[ai] = nil
 		undo()
 		return !ev.stopped
 	}

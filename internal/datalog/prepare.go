@@ -1,0 +1,405 @@
+package datalog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// This file implements the prepared-execution layer: Prepare compiles a
+// validated program once — per rule, a static join-order plan for every
+// source shape evaluation can run under, plus the set of (relation, column)
+// index requirements those plans probe — so server-style callers can
+// amortize planning across millions of repair requests. Execution state
+// (binding buffers, seminaive scratch relations) is pooled on the Prepared
+// so repeated runs allocate near-zero.
+
+// IndexTarget says which concrete relation an index requirement applies to.
+type IndexTarget int
+
+// Index requirement targets.
+const (
+	// TargetBase is the live base relation R_i.
+	TargetBase IndexTarget = iota
+	// TargetDelta is the delta relation ∆_i.
+	TargetDelta
+	// TargetScratch is evaluation-internal scratch (the seminaive old and
+	// frontier relations a derivation loop maintains per delta relation).
+	TargetScratch
+)
+
+// IndexReq declares one single-column hash index a prepared plan probes.
+type IndexReq struct {
+	Rel    string
+	Col    int
+	Target IndexTarget
+}
+
+// PreparedRule is one rule with its compiled form and per-shape plans.
+type PreparedRule struct {
+	// Rule is the underlying validated rule.
+	Rule *Rule
+
+	cr *compiledRule
+
+	// operational: delta atoms read ∆_i (the live deltas) — stability
+	// checks, step executions, trigger statements.
+	operational *plan
+	// fromBase: delta atoms read base content (every base tuple is a
+	// possible deletion) — Algorithm 1 provenance capture, view witnesses.
+	fromBase *plan
+	// passes[p]: seminaive pass p — the p-th delta atom reads the frontier,
+	// earlier delta atoms read old deltas, later ones old ∪ frontier.
+	passes []*plan
+	// naive: delta atoms read the full delta contents (old ∪ frontier) —
+	// the evaluation-strategy ablation.
+	naive *plan
+
+	// deltaIdx holds the body indexes of the rule's delta atoms, in order.
+	deltaIdx []int
+}
+
+// NumDeltaBody returns the number of ∆-atoms in the rule body (the number
+// of seminaive passes).
+func (pr *PreparedRule) NumDeltaBody() int { return len(pr.deltaIdx) }
+
+// Prepared is a program compiled for repeated execution: validated rules,
+// static join plans per source shape, declared index requirements, and
+// pooled execution state. A Prepared is immutable after construction and
+// safe for concurrent use.
+type Prepared struct {
+	// Program is the prepared program.
+	Program *Program
+	// Schema is the schema the program was prepared against.
+	Schema *engine.Schema
+	// Rules holds one PreparedRule per program rule, in program order.
+	Rules []*PreparedRule
+
+	// Declared index requirements, per plan shape. Sequential execution
+	// leaves index construction lazy (only columns a run actually probes
+	// get built — cheaper when rules never fire); concurrent execution
+	// pre-builds its shape's requirements so lookups perform no writes.
+	reqs          []IndexReq // union of all shapes, deduplicated
+	seminaiveReqs []IndexReq // pass/naive plans: base + scratch targets
+	fromBaseReqs  []IndexReq // fromBase plans: base + delta targets
+
+	ctxPool     sync.Pool
+	scratchPool sync.Pool
+}
+
+// Prepare compiles the program against the schema for repeated execution.
+// Every rule must already be validated (ParseAndValidate or
+// Program.Validate); Prepare fails otherwise rather than guessing at
+// semantics.
+func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
+	if p == nil || len(p.Rules) == 0 {
+		return nil, fmt.Errorf("datalog: cannot prepare an empty program")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("datalog: cannot prepare without a schema")
+	}
+	pp := &Prepared{Program: p, Schema: schema, Rules: make([]*PreparedRule, len(p.Rules))}
+	seen := make(map[IndexReq]bool)
+	addReq := func(list *[]IndexReq, rq IndexReq) {
+		for _, have := range *list {
+			if have == rq {
+				return
+			}
+		}
+		*list = append(*list, rq)
+		if !seen[rq] {
+			seen[rq] = true
+			pp.reqs = append(pp.reqs, rq)
+		}
+	}
+	for i, r := range p.Rules {
+		if r.SelfIdx < 0 {
+			return nil, fmt.Errorf("datalog: rule %s not validated", ruleName(r))
+		}
+		pr := &PreparedRule{Rule: r, cr: r.compile()}
+		for bi, a := range r.Body {
+			if a.Delta {
+				pr.deltaIdx = append(pr.deltaIdx, bi)
+			}
+		}
+
+		// Static plans per source shape. The greedy planner breaks bound-
+		// score ties by weight; without live cardinalities, weights rank the
+		// shapes' typical sizes: frontier (one round's derivations) < deltas
+		// (all deletions so far) < base relations.
+		isDelta := func(bi int) bool { return r.Body[bi].Delta }
+		pr.operational = planFor(pr.cr, func(bi int) int {
+			if isDelta(bi) {
+				return 0 // live deltas are usually far smaller than bases
+			}
+			return 1
+		})
+		pr.fromBase = planFor(pr.cr, func(bi int) int {
+			if isDelta(bi) {
+				return 1 // reads base ∪ delta: at least as large as a base
+			}
+			return 0
+		})
+		pr.naive = planFor(pr.cr, func(bi int) int {
+			if isDelta(bi) {
+				return 0
+			}
+			return 1
+		})
+		pr.passes = make([]*plan, len(pr.deltaIdx))
+		for pass := range pr.deltaIdx {
+			frontierAtom := pr.deltaIdx[pass]
+			pr.passes[pass] = planFor(pr.cr, func(bi int) int {
+				switch {
+				case bi == frontierAtom:
+					return 0 // the frontier seeds the join
+				case isDelta(bi):
+					return 1
+				default:
+					return 2
+				}
+			})
+		}
+
+		// Collect the index requirements each plan's probes imply, bucketed
+		// by shape so executors warm only what their phase reads.
+		collect := func(list *[]IndexReq, pl *plan, deltaTargets ...IndexTarget) {
+			for d, bi := range pl.order {
+				col := pl.lookup[d]
+				if col < 0 {
+					continue
+				}
+				a := r.Body[bi]
+				if !a.Delta {
+					addReq(list, IndexReq{Rel: a.Rel, Col: col, Target: TargetBase})
+					continue
+				}
+				for _, tg := range deltaTargets {
+					addReq(list, IndexReq{Rel: a.Rel, Col: col, Target: tg})
+				}
+			}
+		}
+		var opReqs []IndexReq // operational probes fold into the union only
+		collect(&opReqs, pr.operational, TargetDelta)
+		// FromBase delta atoms may read base alone (views, stability
+		// formulas) or base ∪ delta (Algorithm 1 with pre-existing
+		// deletions); require both.
+		collect(&pp.fromBaseReqs, pr.fromBase, TargetBase, TargetDelta)
+		collect(&pp.seminaiveReqs, pr.naive, TargetScratch)
+		for _, pl := range pr.passes {
+			collect(&pp.seminaiveReqs, pl, TargetScratch)
+		}
+
+		pp.Rules[i] = pr
+	}
+	pp.ctxPool.New = func() any { return NewExecContext() }
+	pp.scratchPool.New = func() any { return pp.newScratch() }
+	return pp, nil
+}
+
+// IndexReqs returns the declared index requirements, deduplicated, in
+// first-use order.
+func (pp *Prepared) IndexReqs() []IndexReq { return pp.reqs }
+
+// CompatibleWith reports whether databases over the given schema can be
+// executed against these prepared plans: both schemas must declare the
+// same relation names with the same arities. Distinct but structurally
+// equal schema objects (e.g. a snapshot-restored database) are compatible;
+// a genuinely different schema yields an error instead of a mid-derivation
+// panic on a missing relation.
+func (pp *Prepared) CompatibleWith(schema *engine.Schema) error {
+	if schema == pp.Schema {
+		return nil
+	}
+	if schema == nil {
+		return fmt.Errorf("datalog: prepared plans executed without a schema")
+	}
+	if len(schema.Relations) != len(pp.Schema.Relations) {
+		return fmt.Errorf("datalog: prepared plans built for a %d-relation schema, database has %d",
+			len(pp.Schema.Relations), len(schema.Relations))
+	}
+	for _, rs := range pp.Schema.Relations {
+		have := schema.Relation(rs.Name)
+		if have == nil {
+			return fmt.Errorf("datalog: prepared plans reference relation %s, absent from the database schema", rs.Name)
+		}
+		if have.Arity() != rs.Arity() {
+			return fmt.Errorf("datalog: relation %s prepared with arity %d, database schema has %d",
+				rs.Name, rs.Arity(), have.Arity())
+		}
+	}
+	return nil
+}
+
+// warm builds the base/delta requirements of one shape's list on db. An
+// index that already exists may hold stale buckets from earlier deletions
+// (lazy compaction is a write), so every touched relation is also synced —
+// after warming, concurrent lookups perform no writes.
+func warm(db *engine.Database, reqs []IndexReq) {
+	for _, rq := range reqs {
+		switch rq.Target {
+		case TargetBase:
+			if r := db.Relation(rq.Rel); r != nil {
+				r.EnsureIndex(rq.Col)
+				r.SyncIndexes()
+			}
+		case TargetDelta:
+			if d := db.Delta(rq.Rel); d != nil {
+				d.EnsureIndex(rq.Col)
+				d.SyncIndexes()
+			}
+		}
+	}
+}
+
+// WarmIndexes pre-builds every base- and delta-relation index any prepared
+// plan probes, so no lazy index construction happens on the evaluation hot
+// path. Use it on long-lived databases that serve repeated requests; for
+// one-shot sequential runs lazy building is cheaper (columns of rules that
+// never fire are never built), so the executors call the shape-specific
+// warmers below only when running concurrently — there, a lazy index build
+// mid-lookup would be a data race.
+func (pp *Prepared) WarmIndexes(db *engine.Database) {
+	warm(db, pp.reqs)
+}
+
+// WarmSeminaiveIndexes pre-builds the base-relation indexes the seminaive
+// pass plans probe (delta atoms read derive-internal scratch, covered by
+// AcquireScratch). Required before parallel derivation.
+func (pp *Prepared) WarmSeminaiveIndexes(db *engine.Database) {
+	for _, rq := range pp.seminaiveReqs {
+		if rq.Target == TargetBase {
+			if r := db.Relation(rq.Rel); r != nil {
+				r.EnsureIndex(rq.Col)
+				r.SyncIndexes()
+			}
+		}
+	}
+}
+
+// WarmFromBaseIndexes pre-builds the base- and delta-relation indexes the
+// FromBase plans probe. Required before Algorithm 1's parallel provenance
+// sweep.
+func (pp *Prepared) WarmFromBaseIndexes(db *engine.Database) {
+	warm(db, pp.fromBaseReqs)
+}
+
+// AcquireContext returns a pooled execution context for use with the
+// prepared Eval* methods. Contexts are not safe for concurrent use; acquire
+// one per goroutine and release it when done.
+func (pp *Prepared) AcquireContext() *ExecContext { return pp.ctxPool.Get().(*ExecContext) }
+
+// ReleaseContext returns a context to the pool.
+func (pp *Prepared) ReleaseContext(ctx *ExecContext) { pp.ctxPool.Put(ctx) }
+
+// scratch is a recycled set of seminaive old/frontier relations, one pair
+// per schema relation, with the plans' scratch index requirements
+// pre-registered so inserts maintain them incrementally.
+type scratch struct {
+	old, frontier map[string]*engine.Relation
+}
+
+func (pp *Prepared) newScratch() *scratch {
+	s := &scratch{
+		old:      make(map[string]*engine.Relation, len(pp.Schema.Relations)),
+		frontier: make(map[string]*engine.Relation, len(pp.Schema.Relations)),
+	}
+	for _, rs := range pp.Schema.Relations {
+		s.old[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+		s.frontier[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+	}
+	for _, rq := range pp.seminaiveReqs {
+		if rq.Target != TargetScratch {
+			continue
+		}
+		if r := s.old[rq.Rel]; r != nil {
+			r.EnsureIndex(rq.Col)
+			s.frontier[rq.Rel].EnsureIndex(rq.Col)
+		}
+	}
+	return s
+}
+
+// AcquireScratch returns pooled seminaive scratch state: per-relation old
+// and frontier relations, empty, with scratch index requirements
+// registered. Release with ReleaseScratch so repeated derivations reuse
+// the allocations.
+func (pp *Prepared) AcquireScratch() (old, frontier map[string]*engine.Relation) {
+	s := pp.scratchPool.Get().(*scratch)
+	return s.old, s.frontier
+}
+
+// ReleaseScratch resets and pools scratch maps obtained from
+// AcquireScratch.
+func (pp *Prepared) ReleaseScratch(old, frontier map[string]*engine.Relation) {
+	for _, r := range old {
+		r.Reset()
+	}
+	for _, r := range frontier {
+		r.Reset()
+	}
+	pp.scratchPool.Put(&scratch{old: old, frontier: frontier})
+}
+
+// ---------- prepared evaluation entry points ----------
+
+// evalWith runs one plan; a nil ctx gets a transient context.
+func (pr *PreparedRule) evalWith(pl *plan, sources []AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	if ctx == nil {
+		ctx = NewExecContext()
+	}
+	return evalPlan(pr.Rule, pr.cr, pl, sources, ctx, emit)
+}
+
+// EvalOperational enumerates the rule's assignments with operational
+// sources: base atoms read live base relations, delta atoms read ∆_i.
+func (pr *PreparedRule) EvalOperational(db *engine.Database, ctx *ExecContext, emit func(*Assignment) bool) error {
+	return pr.evalWith(pr.operational, SourcesFor(db, pr.Rule, DeltaFromDelta), ctx, emit)
+}
+
+// EvalFromBase enumerates assignments with delta atoms ranging over base
+// content — every base tuple is a possible deletion (Algorithm 1, §5.1).
+// With includeDeleted, delta atoms additionally range over already-deleted
+// tuples (the §3.6 initialization where a user deletes a specific set).
+func (pr *PreparedRule) EvalFromBase(db *engine.Database, includeDeleted bool, ctx *ExecContext, emit func(*Assignment) bool) error {
+	var sources []AtomSource
+	if includeDeleted {
+		sources = make([]AtomSource, len(pr.Rule.Body))
+		for i, a := range pr.Rule.Body {
+			if a.Delta {
+				sources[i] = AtomSource{db.Relation(a.Rel), db.Delta(a.Rel)}
+			} else {
+				sources[i] = AtomSource{db.Relation(a.Rel)}
+			}
+		}
+	} else {
+		sources = SourcesFor(db, pr.Rule, DeltaFromBase)
+	}
+	return pr.evalWith(pr.fromBase, sources, ctx, emit)
+}
+
+// EvalPass enumerates assignments for one seminaive pass over
+// caller-supplied sources (built to the pass shape: the pass-th delta atom
+// reads the frontier, earlier delta atoms old deltas, later ones
+// old ∪ frontier).
+func (pr *PreparedRule) EvalPass(pass int, sources []AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	return pr.evalWith(pr.passes[pass], sources, ctx, emit)
+}
+
+// EvalNaive enumerates assignments with every delta atom reading the full
+// delta contents, over caller-supplied sources.
+func (pr *PreparedRule) EvalNaive(sources []AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	return pr.evalWith(pr.naive, sources, ctx, emit)
+}
+
+// HasAssignment reports whether the rule has at least one assignment over
+// the database's operational state.
+func (pr *PreparedRule) HasAssignment(db *engine.Database, ctx *ExecContext) (bool, error) {
+	found := false
+	err := pr.EvalOperational(db, ctx, func(*Assignment) bool {
+		found = true
+		return false
+	})
+	return found, err
+}

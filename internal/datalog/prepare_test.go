@@ -1,0 +1,191 @@
+package datalog
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func preparedExample(t *testing.T) (*engine.Database, *Program, *Prepared) {
+	t.Helper()
+	db := exampleDB()
+	p := validatedExample(t)
+	pp, err := Prepare(p, exampleSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, p, pp
+}
+
+// assignmentKeys renders an assignment set order-independently for
+// comparison between evaluation paths.
+func assignmentKeys(asns []*Assignment) []string {
+	out := make([]string, len(asns))
+	for i, a := range asns {
+		out[i] = a.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPreparedOperationalMatchesEvalRule: the prepared operational plan
+// enumerates exactly the assignments the per-call planner finds, for every
+// rule, both on the clean database and mid-repair (non-empty deltas).
+func TestPreparedOperationalMatchesEvalRule(t *testing.T) {
+	db, p, pp := preparedExample(t)
+	// Seed a delta so operational evaluation has something to join.
+	db.DeleteToDelta(db.Relation("Grant").Keys()[1])
+
+	ctx := pp.AcquireContext()
+	defer pp.ReleaseContext(ctx)
+	for i, r := range p.Rules {
+		var legacy []*Assignment
+		if err := EvalRuleOnDB(db, r, func(a *Assignment) bool {
+			legacy = append(legacy, a)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var prepared []*Assignment
+		if err := pp.Rules[i].EvalOperational(db, ctx, func(a *Assignment) bool {
+			prepared = append(prepared, a)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		lk, pk := assignmentKeys(legacy), assignmentKeys(prepared)
+		if len(lk) != len(pk) {
+			t.Fatalf("rule %d: prepared %d assignments, legacy %d", i, len(pk), len(lk))
+		}
+		for j := range lk {
+			if lk[j] != pk[j] {
+				t.Fatalf("rule %d: assignment sets differ: %v vs %v", i, pk, lk)
+			}
+		}
+	}
+}
+
+// TestPreparedFromBaseMatchesEvalRule: the FromBase plan matches the
+// DeltaFromBase per-call path (the Algorithm 1 / view-witness shape).
+func TestPreparedFromBaseMatchesEvalRule(t *testing.T) {
+	db, p, pp := preparedExample(t)
+	ctx := pp.AcquireContext()
+	defer pp.ReleaseContext(ctx)
+	for i, r := range p.Rules {
+		var legacy, prepared []*Assignment
+		if err := EvalRule(r, SourcesFor(db, r, DeltaFromBase), func(a *Assignment) bool {
+			legacy = append(legacy, a)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := pp.Rules[i].EvalFromBase(db, false, ctx, func(a *Assignment) bool {
+			prepared = append(prepared, a)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		lk, pk := assignmentKeys(legacy), assignmentKeys(prepared)
+		if len(lk) != len(pk) {
+			t.Fatalf("rule %d: prepared %d assignments, legacy %d", i, len(pk), len(lk))
+		}
+		for j := range lk {
+			if lk[j] != pk[j] {
+				t.Fatalf("rule %d: assignment sets differ: %v vs %v", i, pk, lk)
+			}
+		}
+	}
+}
+
+// TestPrepareRejectsUnvalidated: preparation requires validated rules and
+// a schema, never guessing at semantics.
+func TestPrepareRejectsUnvalidated(t *testing.T) {
+	p := MustParse(runningExampleSrc) // parsed but not validated
+	if _, err := Prepare(p, exampleSchema()); err == nil {
+		t.Fatal("Prepare accepted an unvalidated program")
+	}
+	vp := MustParse(runningExampleSrc)
+	if err := vp.Validate(exampleSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prepare(vp, nil); err == nil {
+		t.Fatal("Prepare accepted a nil schema")
+	}
+	if _, err := Prepare(nil, exampleSchema()); err == nil {
+		t.Fatal("Prepare accepted a nil program")
+	}
+}
+
+// TestPreparedIndexReqs: every declared requirement names a schema
+// relation and an in-range column, and warming builds exactly the base and
+// delta targets.
+func TestPreparedIndexReqs(t *testing.T) {
+	db, _, pp := preparedExample(t)
+	reqs := pp.IndexReqs()
+	if len(reqs) == 0 {
+		t.Fatal("no index requirements declared for a multi-join program")
+	}
+	seen := make(map[IndexReq]bool)
+	for _, rq := range reqs {
+		if seen[rq] {
+			t.Fatalf("duplicate requirement %+v", rq)
+		}
+		seen[rq] = true
+		rs := pp.Schema.Relation(rq.Rel)
+		if rs == nil {
+			t.Fatalf("requirement %+v names unknown relation", rq)
+		}
+		if rq.Col < 0 || rq.Col >= rs.Arity() {
+			t.Fatalf("requirement %+v column out of range", rq)
+		}
+	}
+	pp.WarmIndexes(db)
+	for _, rq := range reqs {
+		switch rq.Target {
+		case TargetBase:
+			if cols := db.Relation(rq.Rel).IndexedColumns(); !containsInt(cols, rq.Col) {
+				t.Fatalf("base index %s.%d not built by WarmIndexes", rq.Rel, rq.Col)
+			}
+		case TargetDelta:
+			if cols := db.Delta(rq.Rel).IndexedColumns(); !containsInt(cols, rq.Col) {
+				t.Fatalf("delta index %s.%d not built by WarmIndexes", rq.Rel, rq.Col)
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScratchPoolRoundTrip: acquired scratch is empty with registered
+// indexes, and reacquiring after release hands back reset relations.
+func TestScratchPoolRoundTrip(t *testing.T) {
+	_, _, pp := preparedExample(t)
+	old, frontier := pp.AcquireScratch()
+	for _, rs := range pp.Schema.Relations {
+		if old[rs.Name] == nil || frontier[rs.Name] == nil {
+			t.Fatalf("scratch missing relation %s", rs.Name)
+		}
+		if old[rs.Name].Len() != 0 || frontier[rs.Name].Len() != 0 {
+			t.Fatalf("scratch for %s not empty", rs.Name)
+		}
+	}
+	// Dirty the scratch, release, reacquire: must come back empty.
+	tp := engine.NewTuple("Grant", engine.Int(9), engine.Str("X"))
+	frontier["Grant"].Insert(tp)
+	pp.ReleaseScratch(old, frontier)
+	old2, frontier2 := pp.AcquireScratch()
+	defer pp.ReleaseScratch(old2, frontier2)
+	for _, rs := range pp.Schema.Relations {
+		if old2[rs.Name].Len() != 0 || frontier2[rs.Name].Len() != 0 {
+			t.Fatalf("recycled scratch for %s not reset", rs.Name)
+		}
+	}
+}

@@ -39,6 +39,11 @@ type Relation struct {
 	// directly — no string building.
 	indexes map[int]map[Value]*idxBucket
 
+	// dirty lists index buckets holding tombstoned IDs since the last
+	// SyncIndexes call, so staleness can be flushed in O(affected buckets)
+	// before a phase that reads the relation concurrently.
+	dirty []*idxBucket
+
 	// positional marks a scratch relation (NewScratchRelation): inserts of
 	// interned tuples dedup by ID alone and skip intern-map maintenance.
 	positional bool
@@ -47,8 +52,9 @@ type Relation struct {
 // idxBucket is one hash-index bucket: tuple IDs in insertion order, of
 // which n are still live (dead IDs are filtered out lazily on lookup).
 type idxBucket struct {
-	ids []TupleID
-	n   int32 // live count
+	ids   []TupleID
+	n     int32 // live count
+	stale bool  // queued on Relation.dirty for the next SyncIndexes
 }
 
 // NewRelation creates an empty relation.
@@ -187,6 +193,9 @@ func (r *Relation) DeleteID(id TupleID) bool {
 			b.n-- // the stale ID is filtered lazily on the next lookup
 			if b.n == 0 {
 				delete(idx, t.Vals[col].mapKey())
+			} else if !b.stale {
+				b.stale = true
+				r.dirty = append(r.dirty, b)
 			}
 		}
 	}
@@ -263,6 +272,60 @@ func (r *Relation) IDs() []TupleID {
 	return out
 }
 
+// EnsureIndex builds the hash index on col if missing. Prepared programs
+// declare their (relation, column) index requirements up front and build
+// them here before evaluation starts, so no lazy index construction (a
+// write) happens on the lookup hot path — a requirement for evaluating
+// rules concurrently over a shared relation.
+func (r *Relation) EnsureIndex(col int) {
+	if col >= 0 && col < r.Arity {
+		r.ensureIndex(col)
+	}
+}
+
+// IndexedColumns returns the columns with built indexes, sorted ascending.
+// Snapshots persist these so a restored database can pre-warm the same
+// indexes instead of rebuilding them lazily on the first query.
+func (r *Relation) IndexedColumns() []int {
+	if len(r.indexes) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(r.indexes))
+	for col := range r.indexes {
+		out = append(out, col)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SyncIndexes compacts every index bucket holding tombstoned IDs, in
+// O(affected buckets). After a sync (and until the next deletion) Lookup
+// performs no writes, so the relation can be read from multiple goroutines.
+func (r *Relation) SyncIndexes() {
+	for _, b := range r.dirty {
+		if b.stale {
+			b.compact(r)
+		}
+	}
+	r.dirty = r.dirty[:0]
+}
+
+// Reset empties the relation for reuse, keeping allocated capacity and
+// registered index columns (their buckets are dropped; inserts repopulate
+// them). Used to recycle seminaive scratch relations across rounds and
+// runs instead of allocating fresh ones.
+func (r *Relation) Reset() {
+	clear(r.byID)
+	r.order = r.order[:0]
+	r.live = r.live[:0]
+	r.dead = 0
+	r.byKey = nil
+	r.dirty = r.dirty[:0]
+	for col := range r.indexes {
+		clear(r.indexes[col])
+	}
+}
+
 // ensureIndex builds the hash index on col if missing.
 func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 	if r.indexes == nil {
@@ -330,6 +393,7 @@ func (b *idxBucket) compact(r *Relation) {
 		}
 	}
 	b.ids = b.ids[:n]
+	b.stale = false
 }
 
 // LookupCount returns the number of live tuples whose value at col equals v

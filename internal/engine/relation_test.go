@@ -428,3 +428,65 @@ func TestRelationIndexSurvivesDeleteReinsert(t *testing.T) {
 		seen[tp.TID] = true
 	}
 }
+
+// TestRelationSyncIndexes: after deletions, SyncIndexes leaves every
+// bucket fully compacted so lookups perform no writes (the invariant the
+// parallel evaluation phase depends on), with unchanged results.
+func TestRelationSyncIndexes(t *testing.T) {
+	r := NewRelation("R", 2)
+	var tuples []*Tuple
+	for i := 0; i < 20; i++ {
+		tp := NewTuple("R", Int(i%4), Int(i))
+		r.Insert(tp)
+		tuples = append(tuples, tp)
+	}
+	r.EnsureIndex(0)
+	for i := 0; i < 20; i += 2 {
+		r.DeleteTuple(tuples[i])
+	}
+	r.SyncIndexes()
+	// Exact per-bucket counts: odd i survive, so only values 1 and 3 keep
+	// five tuples each; every returned tuple must be live.
+	want := map[int]int{1: 5, 3: 5}
+	for v := 0; v < 4; v++ {
+		got := r.Lookup(0, Int(v))
+		for _, tp := range got {
+			if !r.ContainsTuple(tp) {
+				t.Fatalf("lookup returned dead tuple %v", tp)
+			}
+		}
+		if len(got) != want[v] {
+			t.Fatalf("Lookup(0,%d) = %d tuples, want %d", v, len(got), want[v])
+		}
+	}
+}
+
+// TestRelationReset: Reset empties the relation but keeps registered index
+// columns, and reuse after Reset behaves like a fresh relation.
+func TestRelationReset(t *testing.T) {
+	r := NewScratchRelation("S", 1)
+	r.EnsureIndex(0)
+	a, b := NewTuple("S", Int(1)), NewTuple("S", Int(2))
+	r.Insert(a)
+	r.Insert(b)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", r.Len())
+	}
+	if cols := r.IndexedColumns(); len(cols) != 1 || cols[0] != 0 {
+		t.Fatalf("Reset dropped index registration: %v", cols)
+	}
+	if got := r.Lookup(0, Int(1)); len(got) != 0 {
+		t.Fatalf("Lookup after Reset returned %v", got)
+	}
+	r.Insert(b)
+	if got := r.Lookup(0, Int(2)); len(got) != 1 || got[0] != b {
+		t.Fatalf("Lookup after reuse = %v, want [b]", got)
+	}
+	if r.Contains(a.Key()) {
+		t.Fatal("Reset kept stale content key")
+	}
+}

@@ -20,7 +20,11 @@ type snapTuple struct {
 }
 
 // snapRelation is the serialized form of one relation schema plus its base
-// and delta contents.
+// and delta contents. BaseIdx/DeltaIdx record which single-column hash
+// indexes were built at save time so LoadSnapshot can pre-warm them —
+// restoring into the same steady state instead of paying a first-query
+// latency spike while indexes rebuild lazily. Both fields are optional
+// (older snapshots decode them as nil).
 type snapRelation struct {
 	Name     string
 	IDPrefix string
@@ -28,6 +32,8 @@ type snapRelation struct {
 	NextID   int
 	Base     []snapTuple
 	Delta    []snapTuple
+	BaseIdx  []int
+	DeltaIdx []int
 }
 
 // snapshot is the full serialized database.
@@ -49,6 +55,8 @@ func (db *Database) Save(w io.Writer) error {
 			IDPrefix: rs.IDPrefix,
 			Attrs:    rs.Attrs,
 			NextID:   db.nextID[rs.Name],
+			BaseIdx:  db.base[rs.Name].IndexedColumns(),
+			DeltaIdx: db.delta[rs.Name].IndexedColumns(),
 		}
 		db.base[rs.Name].Scan(func(t *Tuple) bool {
 			sr.Base = append(sr.Base, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
@@ -107,6 +115,14 @@ func LoadSnapshot(r io.Reader) (*Database, error) {
 			}
 		}
 		db.nextID[sr.Name] = sr.NextID
+		// Pre-warm the indexes that existed at save time: building them now,
+		// while the data is hot, avoids a lazy rebuild on the first query.
+		for _, col := range sr.BaseIdx {
+			db.base[sr.Name].EnsureIndex(col)
+		}
+		for _, col := range sr.DeltaIdx {
+			db.delta[sr.Name].EnsureIndex(col)
+		}
 	}
 	db.seq = maxSeq
 	return db, nil

@@ -101,3 +101,35 @@ func TestSnapshotEmptyDatabase(t *testing.T) {
 		t.Fatal("empty database should round trip")
 	}
 }
+
+// TestSnapshotPreWarmsIndexes: indexes built before Save are rebuilt by
+// LoadSnapshot, so a restored session pays no first-query latency spike.
+func TestSnapshotPreWarmsIndexes(t *testing.T) {
+	db := paperDatabase()
+	db.Relation("Grant").EnsureIndex(0)
+	db.Relation("AuthGrant").EnsureIndex(1)
+	db.DeleteToDelta(ContentKey("Grant", []Value{Int(2), Str("ERC")}))
+	db.Delta("Grant").EnsureIndex(1)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := back.Relation("Grant").IndexedColumns(); len(cols) != 1 || cols[0] != 0 {
+		t.Fatalf("Grant base indexes after restore = %v, want [0]", cols)
+	}
+	if cols := back.Relation("AuthGrant").IndexedColumns(); len(cols) != 1 || cols[0] != 1 {
+		t.Fatalf("AuthGrant base indexes after restore = %v, want [1]", cols)
+	}
+	if cols := back.Delta("Grant").IndexedColumns(); len(cols) != 1 || cols[0] != 1 {
+		t.Fatalf("Grant delta indexes after restore = %v, want [1]", cols)
+	}
+	// The rebuilt index must answer correctly.
+	if n := back.Relation("Grant").LookupCount(0, Int(1)); n != 1 {
+		t.Fatalf("restored index lookup = %d, want 1", n)
+	}
+}

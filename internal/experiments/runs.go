@@ -23,10 +23,15 @@ type ProgramRun struct {
 	Results map[core.Semantics]*core.Result
 }
 
-// runProgram executes all four semantics over db.
+// runProgram executes all four semantics over db, preparing the program
+// once so the executors share the compiled plans.
 func runProgram(label string, number int, class programs.Class,
 	db *engine.Database, p *datalog.Program, indOpts core.IndependentOptions) (*ProgramRun, error) {
 
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("program %s: %w", label, err)
+	}
 	run := &ProgramRun{
 		Label:   label,
 		Number:  number,
@@ -34,7 +39,7 @@ func runProgram(label string, number int, class programs.Class,
 		Results: make(map[core.Semantics]*core.Result, 4),
 	}
 	for _, sem := range core.AllSemantics {
-		res, _, err := core.RunWith(db, p, sem, core.Options{Independent: indOpts})
+		res, _, err := core.RunWith(db, p, sem, core.Options{Independent: indOpts, Prepared: prep})
 		if err != nil {
 			return nil, fmt.Errorf("program %s, %s semantics: %w", label, sem, err)
 		}

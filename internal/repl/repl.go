@@ -35,11 +35,24 @@ type Session struct {
 	fired      []*engine.Tuple // deletions in firing order
 	candidates []*engine.Tuple // last "violations" listing
 	explainer  *core.Explainer // lazy; built on the original database
+
+	prep    *datalog.Prepared // lazy; amortizes planning across commands
+	prepErr error
 }
 
 // New starts a session on a clone of db.
 func New(db *engine.Database, p *datalog.Program, out io.Writer) *Session {
 	return &Session{orig: db, work: db.Clone(), prog: p, out: out}
+}
+
+// prepared returns the session's prepared program, planning it on first
+// use; every subsequent command (violations, fire cascades, auto, status)
+// reuses the plans.
+func (s *Session) prepared() (*datalog.Prepared, error) {
+	if s.prep == nil && s.prepErr == nil {
+		s.prep, s.prepErr = datalog.Prepare(s.prog, s.orig.Schema)
+	}
+	return s.prep, s.prepErr
 }
 
 // Deleted returns the tuples fired so far, in order.
@@ -116,7 +129,11 @@ func (s *Session) printHelp() {
 }
 
 func (s *Session) cmdStatus() error {
-	stable, err := core.CheckStable(s.work, s.prog)
+	prep, err := s.prepared()
+	if err != nil {
+		return err
+	}
+	stable, err := core.CheckStableP(s.work, prep)
 	if err != nil {
 		return err
 	}
@@ -127,10 +144,16 @@ func (s *Session) cmdStatus() error {
 
 // currentCandidates enumerates the distinct heads deletable right now.
 func (s *Session) currentCandidates() ([]*engine.Tuple, error) {
+	prep, err := s.prepared()
+	if err != nil {
+		return nil, err
+	}
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
 	seen := make(map[engine.TupleID]bool)
 	var heads []*engine.Tuple
-	for _, r := range s.prog.Rules {
-		err := datalog.EvalRuleOnDB(s.work, r, func(a *datalog.Assignment) bool {
+	for _, pr := range prep.Rules {
+		err := pr.EvalOperational(s.work, ctx, func(a *datalog.Assignment) bool {
 			h := a.Head()
 			if !seen[h.TID] {
 				seen[h.TID] = true
@@ -231,7 +254,11 @@ func (s *Session) cmdAuto(args []string) error {
 		fmt.Fprintf(s.out, "unknown semantics %q\n", args[0])
 		return nil
 	}
-	res, repaired, err := core.Run(s.work, s.prog, sem)
+	prep, err := s.prepared()
+	if err != nil {
+		return err
+	}
+	res, repaired, err := core.RunWith(s.work, s.prog, sem, core.Options{Prepared: prep})
 	if err != nil {
 		return err
 	}

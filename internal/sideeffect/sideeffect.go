@@ -39,7 +39,8 @@ type View struct {
 	// Comps holds comparison predicates.
 	Comps []datalog.Comparison
 
-	rule *datalog.Rule // internal evaluation vehicle
+	rule *datalog.Rule     // internal evaluation vehicle
+	prep *datalog.Prepared // lazy single-rule plan; built on first Eval
 }
 
 // ParseView parses "Name(x, y) :- R(x, z), S(z, y), x < 5." into a View.
@@ -161,15 +162,27 @@ func (r *Row) MatchesRow(target []engine.Value) bool {
 }
 
 // Eval computes the view over the database's live base relations,
-// grouping witness assignments by output row.
+// grouping witness assignments by output row. The first Eval prepares the
+// view's join plan against the database's schema; later calls reuse it.
 func (v *View) Eval(db *engine.Database) ([]*Row, error) {
 	varIdx := make(map[string]int, len(v.HeadVars))
 	for i, hv := range v.HeadVars {
 		varIdx[hv] = i
 	}
+	if v.prep == nil {
+		// The view rule passes validation (its synthetic delta head mirrors
+		// body[0]), so it prepares like any single-rule program.
+		prep, err := datalog.Prepare(datalog.NewProgram(v.rule), db.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("sideeffect: preparing view: %w", err)
+		}
+		v.prep = prep
+	}
+	ctx := v.prep.AcquireContext()
+	defer v.prep.ReleaseContext(ctx)
 	rows := make(map[string]*Row)
 	var order []string
-	err := datalog.EvalRule(v.rule, datalog.SourcesFor(db, v.rule, datalog.DeltaFromBase), func(asn *datalog.Assignment) bool {
+	err := v.prep.Rules[0].EvalFromBase(db, false, ctx, func(asn *datalog.Assignment) bool {
 		// Project the head variables out of the assignment.
 		vals := make([]engine.Value, len(v.HeadVars))
 		for bi, a := range v.Body {
@@ -272,10 +285,18 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		maxClauses = core.DefaultMaxClauses
 	}
 	stability := provenance.NewFormula()
+	var progPrep *datalog.Prepared
 	if p != nil {
-		for _, r := range p.Rules {
-			var evalErr error
-			err := datalog.EvalRule(r, datalog.SourcesFor(db, r, datalog.DeltaFromBase), func(asn *datalog.Assignment) bool {
+		// Prepare the delta program once: its FromBase plans serve both the
+		// stability clauses here and the final stability verification.
+		progPrep, err = datalog.Prepare(p, db.Schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx := progPrep.AcquireContext()
+		var evalErr error
+		for _, pr := range progPrep.Rules {
+			err := pr.EvalFromBase(db, false, ctx, func(asn *datalog.Assignment) bool {
 				stability.Add(asn.Head().TID, provenance.ClauseOf(asn))
 				if stability.Len() > maxClauses {
 					evalErr = fmt.Errorf("sideeffect: stability formula exceeded %d clauses", maxClauses)
@@ -284,12 +305,15 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 				return true
 			})
 			if err != nil {
+				progPrep.ReleaseContext(ctx)
 				return nil, nil, err
 			}
 			if evalErr != nil {
+				progPrep.ReleaseContext(ctx)
 				return nil, nil, evalErr
 			}
 		}
+		progPrep.ReleaseContext(ctx)
 	}
 
 	// Variable space: all tuples mentioned anywhere.
@@ -355,7 +379,7 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		}
 	}
 	if p != nil {
-		stable, err := core.CheckStable(work, p)
+		stable, err := core.CheckStableP(work, progPrep)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -133,6 +133,11 @@ type executor struct {
 	byEvent map[string][]*Trigger
 	res     *ExecResult
 	guard   int // deletion budget: no run can delete more tuples than exist
+
+	// prepared evaluation state: one plan set for the trigger rules, one
+	// reusable execution context (execution is strictly sequential).
+	prepOf map[*Trigger]*datalog.PreparedRule
+	ctx    *datalog.ExecContext
 }
 
 // Execute runs the trigger system: initial statements in policy order, each
@@ -163,6 +168,25 @@ func Execute(db *engine.Database, trigs []*Trigger, policy Policy) (*ExecResult,
 		}
 	}
 
+	// Prepare the trigger rules once per execution: statements run on the
+	// operational plan, event triggers on the seminaive pass plan whose
+	// frontier is the single event row (indexes build lazily — execution is
+	// strictly sequential).
+	rules := make([]*datalog.Rule, len(trigs))
+	for i, t := range trigs {
+		rules[i] = t.Rule
+	}
+	prep, err := datalog.Prepare(datalog.NewProgram(rules...), db.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex.prepOf = make(map[*Trigger]*datalog.PreparedRule, len(trigs))
+	for i, t := range trigs {
+		ex.prepOf[t] = prep.Rules[i]
+	}
+	ex.ctx = prep.AcquireContext()
+	defer prep.ReleaseContext(ex.ctx)
+
 	start := time.Now()
 	for _, t := range ordered {
 		if !t.IsStatement() {
@@ -192,29 +216,36 @@ func (ex *executor) runStatement(t *Trigger) error {
 // matchHeads evaluates the trigger's rule; for event triggers, the delta
 // atom is bound to exactly the event row (FOR EACH ROW semantics).
 func (ex *executor) matchHeads(t *Trigger, eventRow *engine.Tuple) ([]*engine.Tuple, error) {
-	sources := make([]datalog.AtomSource, len(t.Rule.Body))
-	for i, a := range t.Rule.Body {
-		switch {
-		case i == t.deltaIdx:
-			single := engine.NewScratchRelation(a.Rel, len(eventRow.Vals))
-			single.Insert(eventRow)
-			sources[i] = datalog.AtomSource{single}
-		case a.Delta:
-			sources[i] = datalog.AtomSource{ex.work.Delta(a.Rel)}
-		default:
-			sources[i] = datalog.AtomSource{ex.work.Relation(a.Rel)}
-		}
-	}
+	pr := ex.prepOf[t]
 	var heads []*engine.Tuple
 	seen := make(map[engine.TupleID]bool)
-	err := datalog.EvalRule(t.Rule, sources, func(asn *datalog.Assignment) bool {
+	collect := func(asn *datalog.Assignment) bool {
 		h := asn.Head()
 		if !seen[h.TID] {
 			seen[h.TID] = true
 			heads = append(heads, h)
 		}
 		return true
-	})
+	}
+	if t.IsStatement() {
+		// Statements have no delta body atoms: the operational plan reads
+		// only live base relations.
+		err := pr.EvalOperational(ex.work, ex.ctx, collect)
+		return heads, err
+	}
+	// Event trigger: the single delta atom is seminaive pass 0's frontier,
+	// holding exactly the deleted row; the pass plan seeds the join there.
+	sources := make([]datalog.AtomSource, len(t.Rule.Body))
+	for i, a := range t.Rule.Body {
+		if i == t.deltaIdx {
+			single := engine.NewScratchRelation(a.Rel, len(eventRow.Vals))
+			single.Insert(eventRow)
+			sources[i] = datalog.AtomSource{single}
+		} else {
+			sources[i] = datalog.AtomSource{ex.work.Relation(a.Rel)}
+		}
+	}
+	err := pr.EvalPass(0, sources, ex.ctx, collect)
 	return heads, err
 }
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # Run the full benchmark suite and record a dated JSON snapshot
 # (BENCH_<date>.json) so the perf trajectory is tracked PR over PR.
+# If the dated snapshot already exists (two runs in one day), a numeric
+# suffix keeps the earlier snapshot intact.
 #
 # Usage: ./scripts/bench.sh [extra go-test args...]
 #   e.g. ./scripts/bench.sh -benchtime=10x
@@ -10,6 +12,11 @@ cd "$(dirname "$0")/.."
 
 date="$(date -u +%Y-%m-%d)"
 out="BENCH_${date}.json"
+n=2
+while [ -e "$out" ]; do
+    out="BENCH_${date}.${n}.json"
+    n=$((n + 1))
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -20,24 +27,43 @@ go test -bench=. -benchmem -run='^$' "$@" . > "$raw"
 cat "$raw"
 
 # Convert `go test -bench` lines into a JSON array of
-# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}, then append
+# derived comparison entries: the prepared-vs-unprepared and
+# parallel-vs-sequential speedups the prepared-execution pipeline exists
+# for (speedup > 1 means the first leg is faster).
 awk -v date="$date" '
 BEGIN { print "[" }
 /^Benchmark/ {
-    name = $1; iters = $2; ns = $3
+    name = $1; iters = $2; nsv = $3
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix for stable names
+    ns[name] = nsv
     bytes = ""; allocs = ""
     for (i = 4; i <= NF; i++) {
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
     }
     if (n++) printf ",\n"
-    printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", date, name, iters, ns
+    printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", date, name, iters, nsv
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { print "\n]" }
+function ratio(label, fast, slow) {
+    if (fast in ns && slow in ns && ns[fast] + 0 > 0) {
+        if (n++) printf ",\n"
+        printf "  {\"date\": \"%s\", \"name\": \"%s\", \"speedup\": %.3f, \"fast_ns\": %s, \"slow_ns\": %s}", \
+            date, label, ns[slow] / ns[fast], ns[fast], ns[slow]
+    }
+}
+END {
+    ratio("comparison/prepared_vs_unprepared_small", \
+          "BenchmarkPreparedRepair/small/prepared", "BenchmarkPreparedRepair/small/unprepared")
+    ratio("comparison/prepared_vs_unprepared_mas", \
+          "BenchmarkPreparedRepair/mas/prepared", "BenchmarkPreparedRepair/mas/unprepared")
+    ratio("comparison/parallel_vs_sequential", \
+          "BenchmarkParallelDerivation/parallel", "BenchmarkParallelDerivation/sequential")
+    print "\n]"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out"
