@@ -8,12 +8,16 @@
 package deltarepair_test
 
 import (
+	"cmp"
+	"fmt"
 	"runtime"
+	"slices"
 	"testing"
 
 	deltarepair "repro"
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mas"
 	"repro/internal/programs"
@@ -353,6 +357,171 @@ func BenchmarkParallelDerivation(b *testing.B) {
 	}
 	b.Run("sequential", func(b *testing.B) { run(b, 0) })
 	b.Run("parallel", func(b *testing.B) { run(b, workers) })
+}
+
+// BenchmarkForkVsClone contrasts minting an executor working copy by deep
+// clone (the pre-CoW behaviour, still available as Database.Clone) with
+// forking a frozen snapshot. The clone leg is O(database); the fork leg is
+// O(relations), independent of base size — the fork10x leg repeats the
+// fork on a 10x larger base and should land within noise of the small one
+// (bench.sh turns the pair into the O(changes) scaling entry, and
+// fork-vs-clone into a speedup entry).
+func BenchmarkForkVsClone(b *testing.B) {
+	ds := mas.Generate(mas.Config{Scale: 0.02, Seed: 1})
+	b.Run("clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ds.DB.Clone().TotalTuples() == 0 {
+				b.Fatal("empty clone")
+			}
+		}
+	})
+	snap := ds.DB.Freeze()
+	b.Run("fork", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if snap.Fork().TotalTuples() == 0 {
+				b.Fatal("empty fork")
+			}
+		}
+	})
+	big := mas.Generate(mas.Config{Scale: 0.2, Seed: 1})
+	snapBig := big.DB.Freeze()
+	b.Run("fork10x", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if snapBig.Fork().TotalTuples() == 0 {
+				b.Fatal("empty fork")
+			}
+		}
+	})
+}
+
+// stepSearchCloneBaseline replays the pre-CoW RunStepExhaustive inner
+// loop: a full deep clone per visited state, with lazily rebuilt indexes
+// in every clone. It exists purely as the benchmark baseline recording the
+// before/after of the fork rework; the algorithm matches step.go exactly.
+func stepSearchCloneBaseline(db *deltarepair.Database, p *deltarepair.Program, maxStates int) (int, error) {
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		return 0, err
+	}
+	ctx := prep.AcquireContext()
+	defer prep.ReleaseContext(ctx)
+	sig := func(tuples []*deltarepair.Tuple) uint64 {
+		h := uint64(14695981039346656037)
+		for _, t := range tuples {
+			h ^= uint64(t.TID)
+			h *= 1099511628211
+		}
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		return h
+	}
+	type state struct{ tuples []*deltarepair.Tuple }
+	visited := map[uint64]bool{sig(nil): true}
+	frontier := []state{{}}
+	for len(frontier) > 0 {
+		var next []state
+		for _, st := range frontier {
+			work := db.Clone()
+			for _, t := range st.tuples {
+				work.DeleteTupleToDelta(t)
+			}
+			headSet := make(map[engine.TupleID]bool)
+			var heads []*deltarepair.Tuple
+			for _, pr := range prep.Rules {
+				err := pr.EvalOperational(work, ctx, func(a *datalog.Assignment) bool {
+					h := a.Head()
+					if !headSet[h.TID] {
+						headSet[h.TID] = true
+						heads = append(heads, h)
+					}
+					return true
+				})
+				if err != nil {
+					return 0, err
+				}
+			}
+			if len(heads) == 0 {
+				return len(st.tuples), nil
+			}
+			for _, h := range heads {
+				tuples := make([]*deltarepair.Tuple, 0, len(st.tuples)+1)
+				tuples = append(tuples, st.tuples...)
+				tuples = append(tuples, h)
+				slices.SortFunc(tuples, func(a, b *deltarepair.Tuple) int {
+					return cmp.Compare(a.TID, b.TID)
+				})
+				sk := sig(tuples)
+				if visited[sk] {
+					continue
+				}
+				if len(visited) >= maxStates {
+					return 0, fmt.Errorf("exceeded %d states", maxStates)
+				}
+				visited[sk] = true
+				next = append(next, state{tuples: tuples})
+			}
+		}
+		frontier = next
+	}
+	return 0, fmt.Errorf("search exhausted")
+}
+
+// BenchmarkStepSearch measures the exhaustive step-semantics search
+// (Def. 3.5 state expansion) on the workload the CoW rework targets: a
+// small violating core inside a large, mostly shared base (the shape a
+// debugger sees when validating one suspect cascade over production
+// data). The search expands 2^6 deletion states; the fork leg is the
+// production RunStepExhaustive, which freezes the input once and forks
+// the shared base per visited state in O(deletions so far), while the
+// clone leg is the pre-CoW baseline deep-cloning the whole base at every
+// state. bench.sh turns the pair into the step_search speedup entry.
+func BenchmarkStepSearch(b *testing.B) {
+	schema, err := deltarepair.ParseSchema(`Big(a, b)
+	                                        Small(x, tag)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := deltarepair.NewDatabase(schema)
+	for i := 0; i < 5000; i++ {
+		db.MustInsert("Big", deltarepair.Int(i), deltarepair.Int(i%97))
+	}
+	for i := 0; i < 30; i++ {
+		tag := "ok"
+		if i < 6 {
+			tag = "bad"
+		}
+		db.MustInsert("Small", deltarepair.Int(i), deltarepair.Str(tag))
+	}
+	p, err := deltarepair.ParseProgram(
+		`Delta_Small(x, t) :- Small(x, t), t = 'bad'.`, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fork", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, _, err := core.RunStepExhaustive(db, p, core.StepExhaustiveOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Size() != 6 {
+				b.Fatalf("size = %d", res.Size())
+			}
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			size, err := stepSearchCloneBaseline(db, p, core.DefaultMaxStepStates)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if size != 6 {
+				b.Fatalf("size = %d", size)
+			}
+		}
+	})
 }
 
 // BenchmarkMinOnesSolver measures the Min-Ones search on a layered

@@ -63,6 +63,10 @@ type (
 	Tuple = engine.Tuple
 	// Value is a typed scalar (int, string, or float).
 	Value = engine.Value
+	// Snapshot is an immutable frozen database state. Database.Freeze
+	// produces one; Snapshot.Fork mints O(changes) copy-on-write working
+	// copies that share the frozen storage and its warm indexes.
+	Snapshot = engine.Snapshot
 	// Program is a validated delta program.
 	Program = datalog.Program
 	// Rule is a single delta rule.
@@ -181,9 +185,24 @@ func RepairAll(db *Database, p *Program) (map[Semantics]*Result, error) {
 // Prepared is a program compiled for repeated execution: validation, rule
 // compilation, per-source-shape join planning, and index-requirement
 // analysis all happen once in Prepare, and every Repair call on the result
-// reuses them together with pooled execution state. Server-style callers
-// answering many repair requests over one schema should prepare once and
-// call Repair per request; a Prepared is safe for concurrent use.
+// reuses them together with pooled execution state. A Prepared is safe for
+// concurrent use.
+//
+// Server-style callers answering many repair requests over one large,
+// mostly shared base should combine Prepared with copy-on-write snapshots:
+// Prepare once, db.Freeze() once, and snap.Fork() per request —
+//
+//	pp, _ := deltarepair.Prepare(prog, schema)
+//	snap := db.Freeze()
+//	// per request (safe concurrently):
+//	res, repaired, err := pp.Repair(snap.Fork(), deltarepair.Stage)
+//
+// Each request then pays O(relations) to fork plus cost proportional to
+// its own deletions, never O(database); the forks share the frozen base's
+// storage and warm indexes. Passing a database to Repair directly still
+// works — the executors fork it internally — but the explicit
+// Freeze/Fork handle is what makes concurrent serving over one base both
+// cheap and race-free.
 type Prepared struct {
 	prog *Program
 	prep *datalog.Prepared
@@ -329,7 +348,7 @@ func LoadSnapshot(r io.Reader) (*Database, error) { return engine.LoadSnapshot(r
 // the fallout under the chosen semantics. Returns the repair result (which
 // excludes the user's own deletions) and the repaired database.
 func RepairAfterDeletions(db *Database, p *Program, keys []string, sem Semantics) (*Result, *Database, error) {
-	work := db.Clone()
+	work := db.Fork()
 	for _, k := range keys {
 		if !work.DeleteToDelta(k) {
 			return nil, nil, fmt.Errorf("deltarepair: no live tuple %s to delete", k)

@@ -85,6 +85,40 @@ func ExamplePrepare() {
 	// 3 departments: 4 deletions
 }
 
+// ExampleDatabase_Freeze shows the recommended serving pattern over one
+// large shared base: Prepare once, Freeze once, Fork per request. Each
+// fork is an O(changes) copy-on-write working copy sharing the frozen
+// storage and warm indexes; forks are independent and safe to repair
+// concurrently.
+func ExampleDatabase_Freeze() {
+	schema, _ := deltarepair.ParseSchema(`
+		Dept(id)
+		Emp(id, dept)
+	`)
+	prog, _ := deltarepair.ParseProgram(`
+		Delta_Emp(e, d) :- Emp(e, d), Delta_Dept(d).
+	`, schema)
+	pp, _ := deltarepair.Prepare(prog, schema) // once per program
+
+	db := deltarepair.NewDatabase(schema)
+	for d := 1; d <= 3; d++ {
+		db.MustInsert("Dept", deltarepair.Int(d))
+		db.MustInsert("Emp", deltarepair.Int(10*d), deltarepair.Int(d))
+	}
+	snap := db.Freeze() // once per base
+	deptKeys := db.Relation("Dept").Keys()
+
+	for _, key := range deptKeys[:2] { // once per request
+		work := snap.Fork() // O(changes) working copy
+		work.DeleteToDelta(key)
+		res, _, _ := pp.Repair(work, deltarepair.Stage)
+		fmt.Printf("deleting %s cascades to %d employees\n", key, res.Size())
+	}
+	// Output:
+	// deleting Dept(i1) cascades to 1 employees
+	// deleting Dept(i2) cascades to 1 employees
+}
+
 // ExampleIsStable shows stability checking before and after a repair.
 func ExampleIsStable() {
 	schema, _ := deltarepair.ParseSchema(`N(v)`)

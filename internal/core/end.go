@@ -50,7 +50,7 @@ func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Data
 	if err != nil {
 		return nil, nil, err
 	}
-	work := db.Clone()
+	work := db.Fork()
 	start := time.Now()
 	derived, rounds, err := derive(work, prep, deriveConfig{naive: true})
 	evalDur := time.Since(start)
@@ -72,7 +72,7 @@ func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Data
 // Algorithm 2 (step semantics): the graph records every assignment of the
 // end-semantics derivation with its round as the layer.
 func runEndCaptured(db *engine.Database, prep *datalog.Prepared, capture bool, par int) (*Result, *engine.Database, *provenance.Graph, error) {
-	work := db.Clone()
+	work := db.Fork()
 	if par > 1 {
 		// Parallel rule evaluation reads base relations concurrently: build
 		// the probed indexes up front so lookups perform no writes.

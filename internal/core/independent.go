@@ -236,7 +236,7 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 
 	// Output (line 6): tuples whose deletion variable is true.
 	updStart := time.Now()
-	work := db.Clone()
+	work := db.Fork()
 	var deleted []*engine.Tuple
 	for i, id := range ids {
 		if solved.Assignment[i+1] && !preDeleted[id] {

@@ -75,19 +75,21 @@ func RunAll(db *engine.Database, p *datalog.Program) (map[Semantics]*Result, err
 }
 
 // RunAllParallel is RunAll with one goroutine per semantics. Every
-// executor clones the input database and the executors share no mutable
-// state, so results are identical to the sequential RunAll; wall-clock
-// time approaches the slowest single semantics (usually independent).
-//
-// Caveat: each executor builds its own indexes on its clone, so total CPU
-// work is slightly higher than sequential; prefer RunAllParallel when
-// latency matters and RunAll when throughput does.
+// executor works on a private copy-on-write fork of one frozen base and
+// the executors share no mutable state, so results are identical to the
+// sequential RunAll; wall-clock time approaches the slowest single
+// semantics (usually independent). The forks share the snapshot's warm
+// indexes — the first executor to probe a column builds it once and every
+// other fork reads it — so, unlike the old deep-clone fan-out, parallel
+// execution no longer repeats index construction per goroutine.
 func RunAllParallel(db *engine.Database, p *datalog.Program) (map[Semantics]*Result, error) {
-	// Give each goroutine a private clone up front: lazy index builds on a
-	// shared instance would race.
-	clones := make([]*engine.Database, len(AllSemantics))
+	// Freeze once up front (Freeze mutates the database's representation,
+	// so it must not race with the executors), then hand each goroutine a
+	// private O(relations) fork of the shared frozen base.
+	snap := db.Freeze()
+	forks := make([]*engine.Database, len(AllSemantics))
 	for i := range AllSemantics {
-		clones[i] = db.Clone()
+		forks[i] = snap.Fork()
 	}
 	results := make([]*Result, len(AllSemantics))
 	errs := make([]error, len(AllSemantics))
@@ -96,7 +98,7 @@ func RunAllParallel(db *engine.Database, p *datalog.Program) (map[Semantics]*Res
 		wg.Add(1)
 		go func(i int, sem Semantics) {
 			defer wg.Done()
-			results[i], _, errs[i] = Run(clones[i], p, sem)
+			results[i], _, errs[i] = Run(forks[i], p, sem)
 		}(i, sem)
 	}
 	wg.Wait()

@@ -62,7 +62,7 @@ func FirstViolation(db *engine.Database, p *datalog.Program) (*datalog.Assignmen
 // keys from db (and adding their delta counterparts) yields a stable
 // database (Def. 3.14). The input database is not modified.
 func IsStabilizing(db *engine.Database, p *datalog.Program, keys []string) (bool, error) {
-	work := db.Clone()
+	work := db.Fork()
 	for _, k := range keys {
 		work.DeleteToDelta(k)
 	}
@@ -73,7 +73,7 @@ func IsStabilizing(db *engine.Database, p *datalog.Program, keys []string) (bool
 // the repaired database; it verifies stability and errors if the set does
 // not stabilize (which would indicate an executor bug).
 func Apply(db *engine.Database, p *datalog.Program, res *Result) (*engine.Database, error) {
-	work := db.Clone()
+	work := db.Fork()
 	for _, t := range res.Deleted {
 		work.DeleteTupleToDelta(t)
 	}

@@ -23,7 +23,7 @@ func RunStage(db *engine.Database, p *datalog.Program) (*Result, *engine.Databas
 }
 
 func runStage(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
-	work := db.Clone()
+	work := db.Fork()
 	if par > 1 {
 		// Parallel rule evaluation reads base relations concurrently: build
 		// the probed indexes up front so lookups perform no writes.

@@ -151,9 +151,9 @@ func runStepGreedy(db *engine.Database, prep *datalog.Prepared, par int, opts St
 	trDur := time.Since(trStart)
 
 	// Materialize the result and the repaired database. Tuples resolve by
-	// ID against the input database; the clone shares tuple pointers.
+	// ID against the input database; the fork shares tuple pointers.
 	updStart := time.Now()
-	work := db.Clone()
+	work := db.Fork()
 	deleted := make([]*engine.Tuple, 0, len(order))
 	for _, id := range order {
 		t := db.LookupID(id)
@@ -230,6 +230,11 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 	}
 
 	start := time.Now()
+	// Freeze the input once; each explored state then forks the shared
+	// frozen base and replays its deletion set, costing O(deletions so
+	// far) instead of the former O(database) deep clone per state — the
+	// per-state indexes are the snapshot's warm ones, built once.
+	snap := db.Freeze()
 	visited := map[uint64]bool{stateSig(nil): true}
 	frontier := []state{{}}
 
@@ -237,8 +242,8 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 		var next []state
 		for _, st := range frontier {
 			// Rebuild the database at this state. Tuple pointers are shared
-			// between db and its clones, so the set applies to any clone.
-			work := db.Clone()
+			// between db and its forks, so the set applies to any fork.
+			work := snap.Fork()
 			for _, t := range st.tuples {
 				work.DeleteTupleToDelta(t)
 			}
@@ -303,7 +308,7 @@ func RunStepRandom(db *engine.Database, p *datalog.Program, seed int64) (*Result
 	ctx := prep.AcquireContext()
 	defer prep.ReleaseContext(ctx)
 	rng := rand.New(rand.NewSource(seed))
-	work := db.Clone()
+	work := db.Fork()
 	start := time.Now()
 	var deleted []*engine.Tuple
 	for steps := 0; ; steps++ {

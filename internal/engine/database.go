@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Database is an instance over a schema: one base relation R_i and one delta
@@ -17,6 +18,12 @@ type Database struct {
 	delta  map[string]*Relation
 	nextID map[string]int // per-relation ordinal for minted tuple IDs
 	seq    int            // global insertion sequence
+
+	// snap caches the snapshot this database was frozen into (or forked
+	// from), so Freeze on an unmodified database is O(relations) instead
+	// of re-freezing; freezeMu serializes Freeze calls. See cow.go.
+	snap     *Snapshot
+	freezeMu sync.Mutex
 }
 
 // NewDatabase creates an empty database over the schema.
@@ -197,8 +204,12 @@ func (db *Database) TotalDeltaTuples() int {
 	return n
 }
 
-// Clone returns a deep structural copy sharing immutable tuples. Semantics
-// executors clone the input database so callers keep the original instance.
+// Clone returns a deep structural copy sharing immutable tuples; overlays
+// flatten, so the clone owns plain storage with no frozen base attached.
+// Executors use the O(changes) Fork (see cow.go) for their working copies;
+// Clone remains for callers that need a fully private copy — and as the
+// reference behaviour the copy-on-write fork is differentially tested
+// against.
 func (db *Database) Clone() *Database {
 	c := &Database{
 		Schema: db.Schema,

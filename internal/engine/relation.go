@@ -17,11 +17,28 @@ import (
 // dead slots and the backing slice is compacted when more than half of it
 // is dead.
 //
+// A Relation is either flat (it owns all of its storage) or a
+// copy-on-write overlay over a shared immutable frozenRel (see cow.go). An
+// overlay records divergence from the frozen base as a per-fork deletion
+// bitmap (fdel/fdead) plus a private appended tail, for which the flat
+// machinery below (byID/order/live/indexes/byKey) is reused unchanged.
+// Every read merges "frozen minus deleted" with the tail in insertion
+// order, so an overlay is observationally identical to the deep clone it
+// replaces while forking in O(1) and mutating in O(changes).
+//
 // A Relation is used both for base relations R_i and delta relations ∆_i
 // (which share the base relation's schema per §3.1 of the paper).
 type Relation struct {
 	Name  string
 	Arity int
+
+	// frozen, when non-nil, is the shared immutable base this relation
+	// overlays. fdel marks deleted frozen tuples by their position in
+	// frozen.order (lazily allocated bitmap); fdead counts the set bits.
+	// All remaining fields then describe only the private tail.
+	frozen *frozenRel
+	fdel   []uint64
+	fdead  int
 
 	byID  map[TupleID]int32 // live tuples: TID -> position in order
 	order []*Tuple          // insertion order; dead slots remain until compact
@@ -31,12 +48,16 @@ type Relation struct {
 	// byKey is the content intern map (content key -> TID). It is built
 	// lazily on the first insert or key-based operation and maintained
 	// afterwards; relations that are only scanned, probed, and deleted
-	// from (cloned bases inside executors) never pay for it.
+	// from (forked bases inside executors) never pay for it. For an
+	// overlay it covers only the tail: frozen content resolves through the
+	// frozenRel's shared intern map, built once per snapshot.
 	byKey map[string]TupleID
 
 	// indexes[col][value] -> bucket of TIDs having that value at col.
 	// Values are normalized with Value.mapKey, so probing hashes the Value
-	// directly — no string building.
+	// directly — no string building. For an overlay these buckets cover
+	// only the tail; the frozen side of a lookup reads the frozenRel's
+	// shared warm index, built at most once per snapshot across all forks.
 	indexes map[int]map[Value]*idxBucket
 
 	// dirty lists index buckets holding tombstoned IDs since the last
@@ -51,6 +72,8 @@ type Relation struct {
 
 // idxBucket is one hash-index bucket: tuple IDs in insertion order, of
 // which n are still live (dead IDs are filtered out lazily on lookup).
+// Buckets published on a frozenRel are immutable: always fully live, never
+// compacted or appended to.
 type idxBucket struct {
 	ids   []TupleID
 	n     int32 // live count
@@ -79,13 +102,44 @@ func NewScratchRelation(name string, arity int) *Relation {
 	return r
 }
 
+// fdelGet reports whether the frozen tuple at the given position has been
+// deleted in this overlay.
+func (r *Relation) fdelGet(pos int32) bool {
+	if r.fdel == nil {
+		return false
+	}
+	return r.fdel[uint32(pos)>>6]&(1<<(uint32(pos)&63)) != 0
+}
+
+// fdelSet marks the frozen tuple at the given position deleted, allocating
+// the bitmap on first use (one word per 64 frozen tuples).
+func (r *Relation) fdelSet(pos int32) {
+	if r.fdel == nil {
+		r.fdel = make([]uint64, (len(r.frozen.order)+63)/64)
+	}
+	r.fdel[uint32(pos)>>6] |= 1 << (uint32(pos) & 63)
+}
+
 // Len returns the number of live tuples.
-func (r *Relation) Len() int { return len(r.byID) }
+func (r *Relation) Len() int {
+	n := len(r.byID)
+	if r.frozen != nil {
+		n += len(r.frozen.order) - r.fdead
+	}
+	return n
+}
 
 // ContainsID reports whether the tuple with the given interned ID is live.
 func (r *Relation) ContainsID(id TupleID) bool {
-	_, ok := r.byID[id]
-	return ok
+	if _, ok := r.byID[id]; ok {
+		return true
+	}
+	if r.frozen != nil {
+		if pos, ok := r.frozen.byID[id]; ok {
+			return !r.fdelGet(pos)
+		}
+	}
+	return false
 }
 
 // ContainsTuple reports whether the given tuple is live in the relation.
@@ -96,24 +150,45 @@ func (r *Relation) GetID(id TupleID) *Tuple {
 	if pos, ok := r.byID[id]; ok {
 		return r.order[pos]
 	}
+	if r.frozen != nil {
+		if pos, ok := r.frozen.byID[id]; ok && !r.fdelGet(pos) {
+			return r.frozen.order[pos]
+		}
+	}
 	return nil
 }
 
 // Contains reports whether a tuple with the given content key is live.
 func (r *Relation) Contains(key string) bool {
-	_, ok := r.internKeys()[key]
+	_, ok := r.lookupKey(key)
 	return ok
 }
 
 // Get returns the live tuple with the given content key, or nil.
 func (r *Relation) Get(key string) *Tuple {
-	if id, ok := r.internKeys()[key]; ok {
+	if id, ok := r.lookupKey(key); ok {
 		return r.GetID(id)
 	}
 	return nil
 }
 
-// internKeys returns the content intern map, building it on first use.
+// lookupKey resolves a content key to a live tuple's ID, consulting the
+// tail intern map and, for overlays, the snapshot-shared frozen intern map
+// filtered through the deletion bitmap.
+func (r *Relation) lookupKey(key string) (TupleID, bool) {
+	if id, ok := r.internKeys()[key]; ok {
+		return id, true
+	}
+	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
+		if id, ok := fz.keyMap()[key]; ok && !r.fdelGet(fz.byID[id]) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// internKeys returns the tail content intern map, building it on first use.
+// For a flat relation the tail is the whole relation.
 func (r *Relation) internKeys() map[string]TupleID {
 	if r.byKey == nil {
 		r.byKey = make(map[string]TupleID, len(r.byID))
@@ -133,7 +208,9 @@ func (r *Relation) internKeys() map[string]TupleID {
 //
 // This is the insert/dedup boundary — the one place outside reporting where
 // the content intern map is consulted. The common case (an interned tuple
-// already present by ID) short-circuits before any content-key work.
+// already present by ID) short-circuits before any content-key work. On an
+// overlay, inserts always land in the private tail; the frozen base is
+// never modified.
 func (r *Relation) Insert(t *Tuple) bool {
 	if len(t.Vals) != r.Arity {
 		panic(fmt.Sprintf("engine: arity mismatch inserting %s into %s/%d", t, r.Name, r.Arity))
@@ -142,9 +219,14 @@ func (r *Relation) Insert(t *Tuple) bool {
 		if _, dup := r.byID[t.TID]; dup {
 			return false
 		}
+		if fz := r.frozen; fz != nil {
+			if pos, ok := fz.byID[t.TID]; ok && !r.fdelGet(pos) {
+				return false
+			}
+		}
 	}
 	if !r.positional || t.TID == 0 {
-		if _, dup := r.internKeys()[t.Key()]; dup {
+		if _, dup := r.lookupKey(t.Key()); dup {
 			return false
 		}
 	}
@@ -176,10 +258,29 @@ func (r *Relation) Insert(t *Tuple) bool {
 }
 
 // DeleteID removes the tuple with the given interned ID; it reports whether
-// the tuple was live.
+// the tuple was live. Deleting a frozen tuple from an overlay sets one bit
+// in the fork's deletion bitmap — the shared base and its warm indexes are
+// untouched (lookups filter through the bitmap lazily).
 func (r *Relation) DeleteID(id TupleID) bool {
 	pos, ok := r.byID[id]
 	if !ok {
+		if fz := r.frozen; fz != nil {
+			if fpos, ok := fz.byID[id]; ok && !r.fdelGet(fpos) {
+				r.fdelSet(fpos)
+				r.fdead++
+				// The tail intern map never holds frozen keys, and frozen
+				// index buckets are filtered through the bitmap at lookup,
+				// so no map or bucket maintenance is needed here.
+				// Mirror the flat-relation compaction policy: once most of
+				// the frozen base is deleted the overlay stops paying the
+				// bitmap filter on every scan and flattens into a private
+				// flat relation.
+				if r.fdead*2 > len(fz.order) && len(fz.order) > 16 {
+					r.materialize()
+				}
+				return true
+			}
+		}
 		return false
 	}
 	t := r.order[pos]
@@ -213,13 +314,14 @@ func (r *Relation) DeleteTuple(t *Tuple) bool { return r.DeleteID(t.TID) }
 // Delete removes the tuple with the given content key; it reports whether
 // the tuple was present.
 func (r *Relation) Delete(key string) bool {
-	id, ok := r.internKeys()[key]
+	id, ok := r.lookupKey(key)
 	if !ok {
 		return false
 	}
 	return r.DeleteID(id)
 }
 
+// compact drops dead slots from the tail's order slice.
 func (r *Relation) compact() {
 	n := 0
 	for i, t := range r.order {
@@ -237,9 +339,70 @@ func (r *Relation) compact() {
 	r.dead = 0
 }
 
+// materialize flattens an overlay into a private flat relation: the live
+// frozen tuples and the live tail merge into owned storage, and indexed
+// columns are rebuilt locally. Called when the overlay has diverged so far
+// (or must be refrozen) that structural sharing no longer pays.
+func (r *Relation) materialize() {
+	fz := r.frozen
+	if fz == nil {
+		return
+	}
+	cols := r.IndexedColumns()
+	n := r.Len()
+	order := make([]*Tuple, 0, n)
+	byID := make(map[TupleID]int32, n)
+	for i, t := range fz.order {
+		if r.fdelGet(int32(i)) {
+			continue
+		}
+		byID[t.TID] = int32(len(order))
+		order = append(order, t)
+	}
+	for i, t := range r.order {
+		if !r.live[i] {
+			continue
+		}
+		byID[t.TID] = int32(len(order))
+		order = append(order, t)
+	}
+	live := make([]bool, len(order))
+	for i := range live {
+		live[i] = true
+	}
+	r.frozen, r.fdel, r.fdead = nil, nil, 0
+	r.byID, r.order, r.live, r.dead = byID, order, live, 0
+	r.byKey = nil
+	r.indexes = nil
+	r.dirty = nil
+	for _, col := range cols {
+		r.ensureIndex(col)
+	}
+}
+
 // Scan calls fn for each live tuple in insertion order; fn returning false
 // stops the scan. Mutating the relation during a scan is not supported.
+// For an overlay the frozen base (minus this fork's deletions) precedes the
+// tail, which is exactly the insertion order a deep clone would observe.
 func (r *Relation) Scan(fn func(*Tuple) bool) {
+	if fz := r.frozen; fz != nil {
+		if r.fdead == 0 {
+			for _, t := range fz.order {
+				if !fn(t) {
+					return
+				}
+			}
+		} else {
+			for i, t := range fz.order {
+				if r.fdelGet(int32(i)) {
+					continue
+				}
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	}
 	for i, t := range r.order {
 		if !r.live[i] {
 			continue
@@ -252,7 +415,7 @@ func (r *Relation) Scan(fn func(*Tuple) bool) {
 
 // Tuples returns the live tuples in insertion order.
 func (r *Relation) Tuples() []*Tuple {
-	out := make([]*Tuple, 0, len(r.byID))
+	out := make([]*Tuple, 0, r.Len())
 	r.Scan(func(t *Tuple) bool { out = append(out, t); return true })
 	return out
 }
@@ -260,14 +423,14 @@ func (r *Relation) Tuples() []*Tuple {
 // Keys returns the live tuples' content keys in insertion order (reporting
 // convenience; not used on evaluation paths).
 func (r *Relation) Keys() []string {
-	out := make([]string, 0, len(r.byID))
+	out := make([]string, 0, r.Len())
 	r.Scan(func(t *Tuple) bool { out = append(out, t.Key()); return true })
 	return out
 }
 
 // IDs returns the live tuples' interned IDs in insertion order.
 func (r *Relation) IDs() []TupleID {
-	out := make([]TupleID, 0, len(r.byID))
+	out := make([]TupleID, 0, r.Len())
 	r.Scan(func(t *Tuple) bool { out = append(out, t.TID); return true })
 	return out
 }
@@ -276,22 +439,38 @@ func (r *Relation) IDs() []TupleID {
 // declare their (relation, column) index requirements up front and build
 // them here before evaluation starts, so no lazy index construction (a
 // write) happens on the lookup hot path — a requirement for evaluating
-// rules concurrently over a shared relation.
+// rules concurrently over a shared relation. On an overlay this warms the
+// snapshot-shared frozen index (built at most once across all forks) plus
+// the private tail index.
 func (r *Relation) EnsureIndex(col int) {
 	if col >= 0 && col < r.Arity {
 		r.ensureIndex(col)
+		if fz := r.frozen; fz != nil && len(fz.order) > 0 {
+			fz.index(col)
+		}
 	}
 }
 
 // IndexedColumns returns the columns with built indexes, sorted ascending.
 // Snapshots persist these so a restored database can pre-warm the same
-// indexes instead of rebuilding them lazily on the first query.
+// indexes instead of rebuilding them lazily on the first query. For an
+// overlay the frozen base's warm columns count: they are equally warm for
+// this fork.
 func (r *Relation) IndexedColumns() []int {
-	if len(r.indexes) == 0 {
+	set := make(map[int]bool, len(r.indexes))
+	for col := range r.indexes {
+		set[col] = true
+	}
+	if r.frozen != nil {
+		for _, col := range r.frozen.indexedColumns() {
+			set[col] = true
+		}
+	}
+	if len(set) == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(r.indexes))
-	for col := range r.indexes {
+	out := make([]int, 0, len(set))
+	for col := range set {
 		out = append(out, col)
 	}
 	sort.Ints(out)
@@ -301,6 +480,7 @@ func (r *Relation) IndexedColumns() []int {
 // SyncIndexes compacts every index bucket holding tombstoned IDs, in
 // O(affected buckets). After a sync (and until the next deletion) Lookup
 // performs no writes, so the relation can be read from multiple goroutines.
+// Frozen buckets are never stale, so only the tail needs syncing.
 func (r *Relation) SyncIndexes() {
 	for _, b := range r.dirty {
 		if b.stale {
@@ -313,8 +493,9 @@ func (r *Relation) SyncIndexes() {
 // Reset empties the relation for reuse, keeping allocated capacity and
 // registered index columns (their buckets are dropped; inserts repopulate
 // them). Used to recycle seminaive scratch relations across rounds and
-// runs instead of allocating fresh ones.
+// runs instead of allocating fresh ones. Any frozen base is detached.
 func (r *Relation) Reset() {
+	r.frozen, r.fdel, r.fdead = nil, nil, 0
 	clear(r.byID)
 	r.order = r.order[:0]
 	r.live = r.live[:0]
@@ -326,7 +507,8 @@ func (r *Relation) Reset() {
 	}
 }
 
-// ensureIndex builds the hash index on col if missing.
+// ensureIndex builds the tail hash index on col if missing. For a flat
+// relation the tail is the whole relation.
 func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 	if r.indexes == nil {
 		r.indexes = make(map[int]map[Value]*idxBucket)
@@ -356,26 +538,49 @@ func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 // Lookup returns the live tuples whose value at col equals v (numeric
 // values compare cross-kind, mirroring Value.Equal), ordered by insertion
 // sequence (deterministic). The first call on a column builds its index in
-// O(n). No content key is built: the probe hashes the Value itself.
+// O(n). No content key is built: the probe hashes the Value itself. On an
+// overlay the frozen side reads the snapshot-shared warm index filtered
+// through the deletion bitmap, then the tail index is merged in.
 func (r *Relation) Lookup(col int, v Value) []*Tuple {
 	if col < 0 || col >= r.Arity {
 		return nil
 	}
-	b := r.ensureIndex(col)[v.mapKey()]
-	if b == nil || b.n == 0 {
-		return nil
-	}
-	out := make([]*Tuple, 0, b.n)
-	if int(b.n) != len(b.ids) {
-		b.compact(r)
-	}
+	mk := v.mapKey()
+	var out []*Tuple
 	sorted := true
-	for _, id := range b.ids {
-		t := r.order[r.byID[id]]
-		if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
-			sorted = false
+	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
+		if b := fz.index(col)[mk]; b != nil {
+			out = make([]*Tuple, 0, len(b.ids))
+			for _, id := range b.ids {
+				pos := fz.byID[id]
+				if r.fdead > 0 && r.fdelGet(pos) {
+					continue
+				}
+				t := fz.order[pos]
+				if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
+					sorted = false
+				}
+				out = append(out, t)
+			}
 		}
-		out = append(out, t)
+	}
+	if b := r.ensureIndex(col)[mk]; b != nil && b.n > 0 {
+		if int(b.n) != len(b.ids) {
+			b.compact(r)
+		}
+		if out == nil {
+			out = make([]*Tuple, 0, b.n)
+		}
+		for _, id := range b.ids {
+			t := r.order[r.byID[id]]
+			if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
+				sorted = false
+			}
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	if !sorted {
 		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
@@ -402,18 +607,34 @@ func (r *Relation) LookupCount(col int, v Value) int {
 	if col < 0 || col >= r.Arity {
 		return 0
 	}
-	if b := r.ensureIndex(col)[v.mapKey()]; b != nil {
-		return int(b.n)
+	mk := v.mapKey()
+	n := 0
+	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
+		if b := fz.index(col)[mk]; b != nil {
+			if r.fdead == 0 {
+				n += len(b.ids)
+			} else {
+				for _, id := range b.ids {
+					if !r.fdelGet(fz.byID[id]) {
+						n++
+					}
+				}
+			}
+		}
 	}
-	return 0
+	if b := r.ensureIndex(col)[mk]; b != nil {
+		n += int(b.n)
+	}
+	return n
 }
 
 // Clone returns a deep copy of the relation structure. Tuples are shared by
 // pointer (they are immutable); the ID map and order slices are copied, and
 // indexes and the content intern map are dropped (they rebuild lazily on
-// demand). No content keys are touched.
+// demand). Overlays flatten: the clone owns plain storage regardless of the
+// receiver's representation. No content keys are touched.
 func (r *Relation) Clone() *Relation {
-	n := len(r.byID)
+	n := r.Len()
 	c := &Relation{
 		Name:       r.Name,
 		Arity:      r.Arity,
@@ -422,14 +643,12 @@ func (r *Relation) Clone() *Relation {
 		live:       make([]bool, 0, n),
 		positional: r.positional,
 	}
-	for i, t := range r.order {
-		if !r.live[i] {
-			continue
-		}
+	r.Scan(func(t *Tuple) bool {
 		c.byID[t.TID] = int32(len(c.order))
 		c.order = append(c.order, t)
 		c.live = append(c.live, true)
-	}
+		return true
+	})
 	return c
 }
 

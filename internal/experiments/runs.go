@@ -24,10 +24,15 @@ type ProgramRun struct {
 }
 
 // runProgram executes all four semantics over db, preparing the program
-// once so the executors share the compiled plans.
+// once so the executors share the compiled plans. The dataset is frozen
+// up front: all four executors (and, because datasets are reused across
+// programs, every later runProgram on the same db) fork one shared
+// copy-on-write base instead of deep-cloning it per run, and share its
+// lazily warmed indexes.
 func runProgram(label string, number int, class programs.Class,
 	db *engine.Database, p *datalog.Program, indOpts core.IndependentOptions) (*ProgramRun, error) {
 
+	db.Freeze()
 	prep, err := datalog.Prepare(p, db.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("program %s: %w", label, err)

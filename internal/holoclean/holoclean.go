@@ -54,7 +54,7 @@ func Repair(db *engine.Database, cfg Config) (*Report, *engine.Database, error) 
 		threshold = DefaultConfidence
 	}
 	start := time.Now()
-	work := db.Clone()
+	work := db.Fork()
 	rep := &Report{}
 
 	authors := work.Relation("Author")

@@ -40,9 +40,11 @@ type Session struct {
 	prepErr error
 }
 
-// New starts a session on a clone of db.
+// New starts a session on a copy-on-write fork of db: the original is
+// frozen once and every session copy (including undo rebuilds) forks the
+// shared frozen base in O(changes) instead of deep-cloning.
 func New(db *engine.Database, p *datalog.Program, out io.Writer) *Session {
-	return &Session{orig: db, work: db.Clone(), prog: p, out: out}
+	return &Session{orig: db, work: db.Fork(), prog: p, out: out}
 }
 
 // prepared returns the session's prepared program, planning it on first
@@ -223,10 +225,11 @@ func (s *Session) cmdUndo() error {
 	}
 	// Rebuild the working copy from the original plus all but the last
 	// deletion: delta relations have no "un-delete", and rebuilding keeps
-	// the session state canonical.
+	// the session state canonical. Forking the frozen original makes the
+	// rebuild O(deletions so far), not O(database).
 	last := s.fired[len(s.fired)-1]
 	s.fired = s.fired[:len(s.fired)-1]
-	s.work = s.orig.Clone()
+	s.work = s.orig.Fork()
 	for _, t := range s.fired {
 		s.work.DeleteTupleToDelta(t)
 	}

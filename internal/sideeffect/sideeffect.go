@@ -357,7 +357,7 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		return nil, nil, fmt.Errorf("sideeffect: no deletion set removes the view tuple")
 	}
 
-	work := db.Clone()
+	work := db.Fork()
 	var deleted []*engine.Tuple
 	for i, id := range ids {
 		if solved.Assignment[i+1] {

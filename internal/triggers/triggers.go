@@ -157,7 +157,7 @@ func Execute(db *engine.Database, trigs []*Trigger, policy Policy) (*ExecResult,
 	})
 
 	ex := &executor{
-		work:    db.Clone(),
+		work:    db.Fork(),
 		byEvent: make(map[string][]*Trigger),
 		res:     &ExecResult{Fired: make(map[string]int)},
 		guard:   db.TotalTuples() + 1,

@@ -62,6 +62,14 @@ END {
           "BenchmarkPreparedRepair/mas/prepared", "BenchmarkPreparedRepair/mas/unprepared")
     ratio("comparison/parallel_vs_sequential", \
           "BenchmarkParallelDerivation/parallel", "BenchmarkParallelDerivation/sequential")
+    ratio("comparison/fork_vs_clone", \
+          "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/clone")
+    ratio("comparison/step_search", \
+          "BenchmarkStepSearch/fork", "BenchmarkStepSearch/clone")
+    # O(changes) scaling evidence, not a speedup: forking a 10x larger
+    # frozen base should cost ~1x the small-base fork (value ~1.0-1.2).
+    ratio("scaling/fork_cost_10x_base", \
+          "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/fork10x")
     print "\n]"
 }
 ' "$raw" > "$out"
