@@ -1,0 +1,102 @@
+// Command deltarepaird serves database repairs over HTTP: register named
+// (schema, program, database) sessions once, then answer repair,
+// repair-all, is-stable, and delete-view-tuple requests by forking the
+// session's frozen snapshot per request — no deep copies, no re-planning.
+//
+//	deltarepaird -addr :8080 -demo
+//
+//	# register a session
+//	curl -s localhost:8080/v1/sessions -d '{
+//	  "name": "papers",
+//	  "schema": "Author(aid, name)\nPub(pid, aid)",
+//	  "program": "Delta_Pub(p, a) :- Pub(p, a), Delta_Author(a, n).",
+//	  "tuples": {"Author": [[1, "alice"]], "Pub": [[10, 1]]}
+//	}'
+//
+//	# repair it under stage semantics with a 500 ms budget
+//	curl -s localhost:8080/v1/sessions/papers/repair \
+//	     -d '{"semantics": "stage", "timeout_ms": 500}'
+//
+// See internal/server for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/programs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "session cache capacity (LRU beyond this)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing repairs (0 = 2x GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none)")
+		parallelism = flag.Int("parallelism", 0, "per-request rule-evaluation workers (0 = sequential)")
+		solverNodes = flag.Int64("solver-max-nodes", 0, "default Min-Ones-SAT node budget (0 = solver default)")
+		demo        = flag.Bool("demo", false, "preload the paper's running example as session \"running-example\"")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		MaxSessions:    *maxSessions,
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *timeout,
+		Parallelism:    *parallelism,
+		SolverMaxNodes: *solverNodes,
+	})
+
+	if *demo {
+		db := programs.RunningExampleDB()
+		prog, err := programs.RunningExampleProgram()
+		if err != nil {
+			log.Fatalf("demo program: %v", err)
+		}
+		if err := svc.Register("running-example", db.Schema, db, prog); err != nil {
+			log.Fatalf("demo session: %v", err)
+		}
+		if err := svc.Warm("running-example"); err != nil {
+			log.Fatalf("warming demo session: %v", err)
+		}
+		log.Printf("registered demo session %q (%d tuples)", "running-example", db.TotalTuples())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("deltarepaird listening on %s (max-inflight=%d, timeout=%s)",
+		*addr, svc.MaxInFlight(), *timeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "deltarepaird: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "deltarepaird: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -37,6 +37,7 @@
 package deltarepair
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -118,38 +119,11 @@ func NewSchema() *Schema { return engine.NewSchema() }
 //	Organization(oid, name)
 //	Author:au(aid, name, oid)     # optional ":prefix" names tuple IDs au1, au2, ...
 func ParseSchema(src string) (*Schema, error) {
-	s := NewSchema()
-	for lineNo, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if i := strings.IndexAny(line, "#%"); i >= 0 {
-			line = strings.TrimSpace(line[:i])
-		}
-		if line == "" {
-			continue
-		}
-		open := strings.IndexByte(line, '(')
-		if open < 0 || !strings.HasSuffix(line, ")") {
-			return nil, fmt.Errorf("deltarepair: schema line %d: want Name(attr, ...), got %q", lineNo+1, line)
-		}
-		name, prefix := line[:open], ""
-		if c := strings.IndexByte(name, ':'); c >= 0 {
-			name, prefix = name[:c], name[c+1:]
-		}
-		name = strings.TrimSpace(name)
-		var attrs []string
-		for _, a := range strings.Split(line[open+1:len(line)-1], ",") {
-			a = strings.TrimSpace(a)
-			if a == "" {
-				return nil, fmt.Errorf("deltarepair: schema line %d: empty attribute", lineNo+1)
-			}
-			attrs = append(attrs, a)
-		}
-		if _, err := s.AddRelation(name, prefix, attrs...); err != nil {
-			return nil, fmt.Errorf("deltarepair: schema line %d: %w", lineNo+1, err)
-		}
-	}
-	if len(s.Relations) == 0 {
-		return nil, fmt.Errorf("deltarepair: empty schema")
+	s, err := engine.ParseSchema(src)
+	if err != nil {
+		// Keep the public facade's historical error prefix: callers see
+		// "deltarepair:", not the internal package name.
+		return nil, fmt.Errorf("deltarepair: %s", strings.TrimPrefix(err.Error(), "engine: "))
 	}
 	return s, nil
 }
@@ -174,6 +148,35 @@ func Repair(db *Database, p *Program, sem Semantics) (*Result, *Database, error)
 // RepairWith is Repair with explicit options (solver budgets etc.).
 func RepairWith(db *Database, p *Program, sem Semantics, opts Options) (*Result, *Database, error) {
 	return core.RunWith(db, p, sem, opts)
+}
+
+// RepairContext is Repair with per-request cancellation: when ctx is
+// canceled or its deadline passes, the executors abort at their next
+// checkpoint (every derivation round, every few thousand enumerated
+// assignments, and inside the SAT search) and return ctx.Err(). This is
+// the entry point serving layers use to bound worst-case request latency.
+func RepairContext(ctx context.Context, db *Database, p *Program, sem Semantics) (*Result, *Database, error) {
+	return RepairWithContext(ctx, db, p, sem, Options{})
+}
+
+// RepairWithContext is RepairContext with explicit options.
+func RepairWithContext(ctx context.Context, db *Database, p *Program, sem Semantics, opts Options) (*Result, *Database, error) {
+	opts.Ctx = ctx
+	return core.RunWith(db, p, sem, opts)
+}
+
+// RepairAllContext runs all four semantics sequentially under one context;
+// it stops at the first cancellation or error.
+func RepairAllContext(ctx context.Context, db *Database, p *Program) (map[Semantics]*Result, error) {
+	out := make(map[Semantics]*Result, len(AllSemantics))
+	for _, sem := range AllSemantics {
+		res, _, err := RepairWithContext(ctx, db, p, sem, Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sem, err)
+		}
+		out[sem] = res
+	}
+	return out, nil
 }
 
 // RepairAll runs all four semantics and returns their results keyed by
@@ -231,6 +234,21 @@ func (pp *Prepared) Repair(db *Database, sem Semantics) (*Result, *Database, err
 // Parallelism for concurrent per-rule evaluation, etc.).
 func (pp *Prepared) RepairWith(db *Database, sem Semantics, opts Options) (*Result, *Database, error) {
 	opts.Prepared = pp.prep
+	return core.RunWith(db, pp.prog, sem, opts)
+}
+
+// RepairContext is Prepared.Repair with per-request cancellation (see
+// RepairContext on the package level); combined with Snapshot.Fork it is
+// the hot path of the serving layer: prepared plans, a shared frozen base,
+// and a deadline per request.
+func (pp *Prepared) RepairContext(ctx context.Context, db *Database, sem Semantics) (*Result, *Database, error) {
+	return pp.RepairWithContext(ctx, db, sem, Options{})
+}
+
+// RepairWithContext is Prepared.RepairContext with explicit options.
+func (pp *Prepared) RepairWithContext(ctx context.Context, db *Database, sem Semantics, opts Options) (*Result, *Database, error) {
+	opts.Prepared = pp.prep
+	opts.Ctx = ctx
 	return core.RunWith(db, pp.prog, sem, opts)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,10 @@ type deriveConfig struct {
 	// workers only fill per-rule emit buffers, and the buffers are merged
 	// in deterministic rule-then-enumeration order.
 	parallelism int
+	// ctx carries per-request cancellation into the round loop: it is
+	// checked at the top of every round, before every rule evaluation, and
+	// every evalCheckEvery emitted assignments. Nil means never canceled.
+	ctx context.Context
 }
 
 // derive runs seminaive rounds of the prepared delta program over work
@@ -83,6 +88,9 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 	newSet := make(map[engine.TupleID]bool)
 
 	for round := 1; ; round++ {
+		if err := ctxErr(cfg.ctx); err != nil {
+			return nil, rounds, err
+		}
 		if round > maxRounds {
 			return nil, rounds, fmt.Errorf("core: derivation did not converge after %d rounds", maxRounds)
 		}
@@ -117,15 +125,23 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			bufs := make([][]*datalog.Assignment, len(prep.Rules))
 			errs := forEachRuleParallel(prep, cfg.parallelism, eligible,
 				func(ri int, ctx *datalog.ExecContext) error {
+					if err := ctxErr(cfg.ctx); err != nil {
+						return err
+					}
+					emitted := 0
 					return evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
 						func(asn *datalog.Assignment) bool {
 							bufs[ri] = append(bufs[ri], asn)
-							return true
+							emitted++
+							return emitted%evalCheckEvery != 0 || ctxErr(cfg.ctx) == nil
 						})
 				})
 			for _, ri := range eligible {
 				if errs[ri] != nil {
 					return nil, rounds, errs[ri]
+				}
+				if err := ctxErr(cfg.ctx); err != nil {
+					return nil, rounds, err
 				}
 				for _, asn := range bufs[ri] {
 					process(prep.Rules[ri].Rule, asn)
@@ -133,13 +149,21 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			}
 		} else {
 			for _, ri := range eligible {
+				if err := ctxErr(cfg.ctx); err != nil {
+					return nil, rounds, err
+				}
 				rule := prep.Rules[ri].Rule
+				emitted := 0
 				err := evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
 					func(asn *datalog.Assignment) bool {
 						process(rule, asn)
-						return true
+						emitted++
+						return emitted%evalCheckEvery != 0 || ctxErr(cfg.ctx) == nil
 					})
 				if err != nil {
+					return nil, rounds, err
+				}
+				if err := ctxErr(cfg.ctx); err != nil {
 					return nil, rounds, err
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/datalog"
@@ -19,11 +20,11 @@ func RunEnd(db *engine.Database, p *datalog.Program) (*Result, *engine.Database,
 	if err != nil {
 		return nil, nil, err
 	}
-	return runEnd(db, prep, 0)
+	return runEnd(nil, db, prep, 0)
 }
 
-func runEnd(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
-	res, work, _, err := runEndCaptured(db, prep, false, par)
+func runEnd(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
+	res, work, _, err := runEndCaptured(ctx, db, prep, false, par)
 	return res, work, err
 }
 
@@ -36,7 +37,7 @@ func CaptureProvenance(db *engine.Database, p *datalog.Program) (*provenance.Gra
 	if err != nil {
 		return nil, err
 	}
-	_, _, graph, err := runEndCaptured(db, prep, true, 0)
+	_, _, graph, err := runEndCaptured(nil, db, prep, true, 0)
 	return graph, err
 }
 
@@ -71,7 +72,7 @@ func RunEndNaive(db *engine.Database, p *datalog.Program) (*Result, *engine.Data
 // runEndCaptured is runEnd optionally capturing the provenance graph for
 // Algorithm 2 (step semantics): the graph records every assignment of the
 // end-semantics derivation with its round as the layer.
-func runEndCaptured(db *engine.Database, prep *datalog.Prepared, capture bool, par int) (*Result, *engine.Database, *provenance.Graph, error) {
+func runEndCaptured(ctx context.Context, db *engine.Database, prep *datalog.Prepared, capture bool, par int) (*Result, *engine.Database, *provenance.Graph, error) {
 	work := db.Fork()
 	if par > 1 {
 		// Parallel rule evaluation reads base relations concurrently: build
@@ -84,7 +85,7 @@ func runEndCaptured(db *engine.Database, prep *datalog.Prepared, capture bool, p
 	}
 
 	start := time.Now()
-	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: false, capture: graph, parallelism: par})
+	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: false, capture: graph, parallelism: par, ctx: ctx})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -53,10 +54,10 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	if err != nil {
 		return nil, nil, err
 	}
-	return runIndependent(db, prep, 0, opts)
+	return runIndependent(nil, db, prep, 0, opts)
 }
 
-func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*Result, *engine.Database, error) {
+func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*Result, *engine.Database, error) {
 	maxClauses := opts.MaxClauses
 	if maxClauses <= 0 {
 		maxClauses = DefaultMaxClauses
@@ -92,20 +93,28 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 		locals := make([]*provenance.Formula, len(prep.Rules))
 		overflow := make([]bool, len(prep.Rules))
 		errs := forEachRuleParallel(prep, par, allRules,
-			func(ri int, ctx *datalog.ExecContext) error {
+			func(ri int, ec *datalog.ExecContext) error {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
 				locals[ri] = provenance.NewFormula()
-				return prep.Rules[ri].EvalFromBase(db, true, ctx, func(asn *datalog.Assignment) bool {
+				emitted := 0
+				return prep.Rules[ri].EvalFromBase(db, true, ec, func(asn *datalog.Assignment) bool {
 					locals[ri].Add(asn.Head().TID, provenance.ClauseOf(asn))
 					if locals[ri].Len() > maxClauses {
 						overflow[ri] = true
 						return false
 					}
-					return true
+					emitted++
+					return emitted%evalCheckEvery != 0 || ctxErr(ctx) == nil
 				})
 			})
 		for ri := range prep.Rules {
 			if errs[ri] != nil {
 				return nil, nil, errs[ri]
+			}
+			if err := ctxErr(ctx); err != nil {
+				return nil, nil, err
 			}
 			if overflow[ri] {
 				return nil, nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
@@ -118,27 +127,36 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 			}
 		}
 	} else {
-		ctx := prep.AcquireContext()
+		ec := prep.AcquireContext()
 		var evalErr error
 		for _, pr := range prep.Rules {
-			err := pr.EvalFromBase(db, true, ctx, func(asn *datalog.Assignment) bool {
+			if err := ctxErr(ctx); err != nil {
+				prep.ReleaseContext(ec)
+				return nil, nil, err
+			}
+			emitted := 0
+			err := pr.EvalFromBase(db, true, ec, func(asn *datalog.Assignment) bool {
 				formula.Add(asn.Head().TID, provenance.ClauseOf(asn))
 				if formula.Len() > maxClauses {
 					evalErr = fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
 					return false
 				}
-				return true
+				emitted++
+				return emitted%evalCheckEvery != 0 || ctxErr(ctx) == nil
 			})
 			if err != nil {
-				prep.ReleaseContext(ctx)
+				prep.ReleaseContext(ec)
 				return nil, nil, err
 			}
 			if evalErr != nil {
-				prep.ReleaseContext(ctx)
+				prep.ReleaseContext(ec)
 				return nil, nil, evalErr
 			}
 		}
-		prep.ReleaseContext(ctx)
+		prep.ReleaseContext(ec)
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
 	}
 	evalDur := time.Since(evalStart)
 
@@ -148,6 +166,9 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 	// map 1:1 to interned tuple IDs (numbered by first occurrence); no
 	// string keys exist anywhere on this path.
 	ppStart := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	ids := formula.TupleIDs()
 	varOf := make(map[engine.TupleID]int, len(ids))
 	for i, id := range ids {
@@ -185,7 +206,7 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 	// steering equal-cost optima toward sets other semantics contain.
 	var prefer []int
 	if !opts.DisablePreferDerivable {
-		if _, _, graph, err := runEndCaptured(db, prep, true, par); err == nil {
+		if _, _, graph, err := runEndCaptured(ctx, db, prep, true, par); err == nil {
 			heads := append([]engine.TupleID(nil), graph.Heads...)
 			idx := make(map[engine.TupleID]int, len(heads))
 			for i, h := range heads {
@@ -226,8 +247,15 @@ func runIndependent(db *engine.Database, prep *datalog.Prepared, par int, opts I
 
 	// Phase 3 (Solve): Min-Ones-SAT (line 5).
 	solveStart := time.Now()
-	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes, Prefer: prefer, Weights: weights})
+	var cancel func() bool
+	if ctx != nil {
+		cancel = func() bool { return ctx.Err() != nil }
+	}
+	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes, Prefer: prefer, Weights: weights, Cancel: cancel})
 	solveDur := time.Since(solveStart)
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	if !solved.Satisfiable {
 		// Cannot happen: every clause has a positive literal (the self
 		// atom), so the all-true assignment satisfies the CNF.

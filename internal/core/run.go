@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -23,7 +24,37 @@ type Options struct {
 	// been prepared from the same program passed to RunWith. Nil means
 	// prepare on the fly.
 	Prepared *datalog.Prepared
+	// Ctx, when non-nil, carries per-request cancellation and deadlines
+	// into the executors: the derivation loop checks it every round and
+	// every evalCheckEvery emitted assignments, Algorithm 1 additionally
+	// between its phases and inside the SAT search, and Algorithm 2
+	// between its phases. A canceled run returns ctx.Err() promptly
+	// instead of a partial result.
+	Ctx context.Context
 }
+
+// evalCheckEvery is how many emitted assignments pass between cancellation
+// checks inside a single rule evaluation, bounding the latency of a cancel
+// during one huge join at a negligible per-assignment cost.
+const evalCheckEvery = 4096
+
+// CtxErr reports the context's error, treating nil as "never canceled".
+// Exported for sibling internal packages (sideeffect, server) that poll
+// the same way; callers outside the module use context directly.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// ctxErr is the package-internal alias used on hot paths.
+func ctxErr(ctx context.Context) error { return CtxErr(ctx) }
 
 // Run executes the chosen semantics with default options and returns the
 // stabilizing set and the repaired database. The input database is cloned,
@@ -46,15 +77,18 @@ func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Option
 	} else if err := prep.CompatibleWith(db.Schema); err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, err
+	}
 	switch sem {
 	case SemEnd:
-		return runEnd(db, prep, opts.Parallelism)
+		return runEnd(opts.Ctx, db, prep, opts.Parallelism)
 	case SemStage:
-		return runStage(db, prep, opts.Parallelism)
+		return runStage(opts.Ctx, db, prep, opts.Parallelism)
 	case SemStep:
-		return runStepGreedy(db, prep, opts.Parallelism, StepGreedyOptions{})
+		return runStepGreedy(opts.Ctx, db, prep, opts.Parallelism, StepGreedyOptions{})
 	case SemIndependent:
-		return runIndependent(db, prep, opts.Parallelism, opts.Independent)
+		return runIndependent(opts.Ctx, db, prep, opts.Parallelism, opts.Independent)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown semantics %v", sem)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datalog"
@@ -22,13 +23,24 @@ func CheckStable(db *engine.Database, p *datalog.Program) (bool, error) {
 // probes (server loops, the step debugger) reuse the prepared plans and a
 // pooled execution context instead of re-planning per call.
 func CheckStableP(db *engine.Database, prep *datalog.Prepared) (bool, error) {
+	return CheckStablePCtx(nil, db, prep)
+}
+
+// CheckStablePCtx is CheckStableP with per-request cancellation, checked
+// before every rule probe; serving layers use it so a stability probe
+// against a heavy session honors its deadline instead of holding an
+// admission slot.
+func CheckStablePCtx(ctx context.Context, db *engine.Database, prep *datalog.Prepared) (bool, error) {
 	if err := prep.CompatibleWith(db.Schema); err != nil {
 		return false, fmt.Errorf("core: %w", err)
 	}
-	ctx := prep.AcquireContext()
-	defer prep.ReleaseContext(ctx)
+	ec := prep.AcquireContext()
+	defer prep.ReleaseContext(ec)
 	for _, pr := range prep.Rules {
-		ok, err := pr.HasAssignment(db, ctx)
+		if err := ctxErr(ctx); err != nil {
+			return false, err
+		}
+		ok, err := pr.HasAssignment(db, ec)
 		if err != nil {
 			return false, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/datalog"
@@ -19,10 +20,10 @@ func RunStage(db *engine.Database, p *datalog.Program) (*Result, *engine.Databas
 	if err != nil {
 		return nil, nil, err
 	}
-	return runStage(db, prep, 0)
+	return runStage(nil, db, prep, 0)
 }
 
-func runStage(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
+func runStage(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
 	work := db.Fork()
 	if par > 1 {
 		// Parallel rule evaluation reads base relations concurrently: build
@@ -30,7 +31,7 @@ func runStage(db *engine.Database, prep *datalog.Prepared, par int) (*Result, *e
 		prep.WarmSeminaiveIndexes(work)
 	}
 	start := time.Now()
-	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: true, parallelism: par})
+	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: true, parallelism: par, ctx: ctx})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, err

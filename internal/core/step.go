@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -42,13 +43,16 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 	if err != nil {
 		return nil, nil, err
 	}
-	return runStepGreedy(db, prep, 0, opts)
+	return runStepGreedy(nil, db, prep, 0, opts)
 }
 
-func runStepGreedy(db *engine.Database, prep *datalog.Prepared, par int, opts StepGreedyOptions) (*Result, *engine.Database, error) {
+func runStepGreedy(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts StepGreedyOptions) (*Result, *engine.Database, error) {
 	// Phase 1 (Eval): end run with provenance capture.
-	endRes, _, graph, err := runEndCaptured(db, prep, true, par)
+	endRes, _, graph, err := runEndCaptured(ctx, db, prep, true, par)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, nil, err
 	}
 
@@ -101,6 +105,9 @@ func runStepGreedy(db *engine.Database, prep *datalog.Prepared, par int, opts St
 		}
 	}
 	ppDur := time.Since(ppStart)
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 
 	// Phase 3 (Traverse): greedy selection with cascading pruning.
 	trStart := time.Now()
@@ -181,6 +188,9 @@ type StepExhaustiveOptions struct {
 	// MaxStates caps the number of distinct deletion states explored;
 	// 0 means DefaultMaxStepStates. Exceeding the cap returns an error.
 	MaxStates int
+	// Ctx, when non-nil, cancels the search: it is checked once per
+	// explored state.
+	Ctx context.Context
 }
 
 // DefaultMaxStepStates is the exhaustive search's default state budget.
@@ -241,6 +251,9 @@ func RunStepExhaustive(db *engine.Database, p *datalog.Program, opts StepExhaust
 	for len(frontier) > 0 {
 		var next []state
 		for _, st := range frontier {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return nil, nil, err
+			}
 			// Rebuild the database at this state. Tuple pointers are shared
 			// between db and its forks, so the set applies to any fork.
 			work := snap.Fork()

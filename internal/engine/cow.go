@@ -182,7 +182,17 @@ type Snapshot struct {
 	delta  map[string]*frozenRel
 	nextID map[string]int
 	seq    int
+
+	// forks counts the working copies minted from this snapshot, updated
+	// atomically because Fork is safe to call concurrently. Serving layers
+	// use it for per-session accounting (forks served == requests that
+	// shared this frozen base).
+	forks atomic.Int64
 }
+
+// Forks returns the number of working copies minted from this snapshot so
+// far. Safe to call concurrently with Fork.
+func (s *Snapshot) Forks() int64 { return s.forks.Load() }
 
 // Freeze converts the database into a copy-on-write snapshot handle. The
 // database keeps working — it becomes a pristine fork of the snapshot, so
@@ -249,6 +259,7 @@ func (db *Database) pristineSince(s *Snapshot) bool {
 // mutations to one are invisible to the snapshot, the original database,
 // and every other fork. Safe to call concurrently.
 func (s *Snapshot) Fork() *Database {
+	s.forks.Add(1)
 	db := &Database{
 		Schema: s.schema,
 		base:   make(map[string]*Relation, len(s.base)),

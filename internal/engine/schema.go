@@ -118,3 +118,48 @@ func (s *Schema) String() string {
 	}
 	return b.String()
 }
+
+// ParseSchema parses a schema declaration, one relation per line:
+//
+//	# comments allowed
+//	Organization(oid, name)
+//	Author:au(aid, name, oid)     # optional ":prefix" names tuple IDs au1, au2, ...
+//
+// Both '#' and '%' start comments. The deltarepair.ParseSchema facade and
+// the repair server's session-registration endpoint delegate here.
+func ParseSchema(src string) (*Schema, error) {
+	s := NewSchema()
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexAny(line, "#%"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		open := strings.IndexByte(line, '(')
+		if open < 0 || !strings.HasSuffix(line, ")") {
+			return nil, fmt.Errorf("engine: schema line %d: want Name(attr, ...), got %q", lineNo+1, line)
+		}
+		name, prefix := line[:open], ""
+		if c := strings.IndexByte(name, ':'); c >= 0 {
+			name, prefix = name[:c], name[c+1:]
+		}
+		name = strings.TrimSpace(name)
+		var attrs []string
+		for _, a := range strings.Split(line[open+1:len(line)-1], ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("engine: schema line %d: empty attribute", lineNo+1)
+			}
+			attrs = append(attrs, a)
+		}
+		if _, err := s.AddRelation(name, prefix, attrs...); err != nil {
+			return nil, fmt.Errorf("engine: schema line %d: %w", lineNo+1, err)
+		}
+	}
+	if len(s.Relations) == 0 {
+		return nil, fmt.Errorf("engine: empty schema")
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteFuzzCorpora regenerates the committed fuzz seed corpora under
+// internal/datalog/testdata/fuzz and internal/engine/testdata/fuzz from
+// generated scenarios. It is a maintenance tool, not a test: run
+//
+//	WRITE_FUZZ_CORPORA=1 go test -run WriteFuzzCorpora ./internal/gen
+//
+// and commit the result. The corpora give `go test -fuzz` structurally
+// valid starting points (real programs, real snapshot bytes) instead of
+// leaving it to mutate its way from hand-written seeds.
+func TestWriteFuzzCorpora(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPORA") == "" {
+		t.Skip("set WRITE_FUZZ_CORPORA=1 to (re)write the fuzz seed corpora")
+	}
+
+	writeCorpus := func(dir, name, goLiteral string) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n" + goLiteral + "\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stringCorpus := func(dir, name, s string) {
+		writeCorpus(dir, name, "string("+strconv.Quote(s)+")")
+	}
+	bytesCorpus := func(dir, name string, b []byte) {
+		writeCorpus(dir, name, "[]byte("+strconv.Quote(string(b))+")")
+	}
+
+	const (
+		parseDir = "../datalog/testdata/fuzz/FuzzParse"
+		lexDir   = "../datalog/testdata/fuzz/FuzzLexer"
+		snapDir  = "../engine/testdata/fuzz/FuzzSnapshot"
+		valDir   = "../engine/testdata/fuzz/FuzzParseValue"
+	)
+
+	for i, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		sc := Generate(seed)
+		stringCorpus(parseDir, fmt.Sprintf("gen-%02d", i), sc.ProgramSource)
+	}
+	for i, seed := range []int64{4, 6, 9, 15} {
+		sc := Generate(seed)
+		stringCorpus(lexDir, fmt.Sprintf("gen-%02d", i), sc.ProgramSource)
+	}
+	for i, seed := range []int64{1, 7, 11, 16, 23, 42} {
+		sc := Generate(seed)
+		var buf bytes.Buffer
+		if err := sc.DB.Save(&buf); err != nil {
+			t.Fatalf("seed %d: save: %v", seed, err)
+		}
+		bytesCorpus(snapDir, fmt.Sprintf("gen-%02d", i), buf.Bytes())
+	}
+	// Value corpus: the constant shapes the generator itself produces,
+	// plus near-miss variants for the parser's edge cases.
+	for i, s := range []string{"0", "3", "'a'", "'c'", "-2", "2.25", "R0(0,'b')", "v0"} {
+		stringCorpus(valDir, fmt.Sprintf("gen-%02d", i), s)
+	}
+}

@@ -1,0 +1,313 @@
+// Package gen generates random repair scenarios — schema, database, and
+// delta program triples — for property-based testing and fuzz-corpus
+// seeding. The generator is deterministic per seed, so a failing scenario
+// reproduces from its seed alone.
+//
+// The paper's semantics make generated scenarios self-checking oracles:
+// whatever the program, a correct implementation must produce repairs that
+// (a) stabilize the database, (b) only delete (output ⊆ input), (c) are
+// deterministic across execution strategies, and (d) respect the proved
+// containments between semantics (Prop. 3.20). internal/gen's test suite
+// asserts exactly those invariants over every generated scenario.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// Config bounds the generated scenarios. The zero value means
+// DefaultConfig.
+type Config struct {
+	// MaxRelations bounds the schema size (at least 1 relation is always
+	// generated).
+	MaxRelations int
+	// MaxArity bounds per-relation attribute counts (at least 1).
+	MaxArity int
+	// MaxRules bounds the program size (at least 1 rule).
+	MaxRules int
+	// MaxExtraAtoms bounds body atoms beyond the mandatory self atom.
+	MaxExtraAtoms int
+	// MaxTuplesPerRelation bounds instance sizes (relations may be empty).
+	MaxTuplesPerRelation int
+	// IntDomain is the size of the integer value domain; small domains
+	// make joins actually fire.
+	IntDomain int
+}
+
+// DefaultConfig keeps scenarios small enough that a full four-semantics,
+// four-strategy check runs in a couple of milliseconds.
+var DefaultConfig = Config{
+	MaxRelations:         3,
+	MaxArity:             3,
+	MaxRules:             4,
+	MaxExtraAtoms:        2,
+	MaxTuplesPerRelation: 10,
+	IntDomain:            4,
+}
+
+// Scenario is one generated (schema, database, program) triple.
+type Scenario struct {
+	// Seed reproduces the scenario via Generate(Seed).
+	Seed int64
+	// Schema, DB, Program are the generated objects; Program is validated
+	// against Schema.
+	Schema  *engine.Schema
+	DB      *engine.Database
+	Program *datalog.Program
+	// SchemaSource and ProgramSource are the textual forms (fuzz-corpus
+	// seeds; ProgramSource re-parses to Program).
+	SchemaSource  string
+	ProgramSource string
+}
+
+// Generate builds the scenario for a seed with DefaultConfig. It panics
+// only on generator bugs (the generated program failing its own
+// validation), never on unlucky seeds.
+func Generate(seed int64) *Scenario {
+	sc, err := GenerateWith(seed, DefaultConfig)
+	if err != nil {
+		panic(fmt.Sprintf("gen: seed %d: %v", seed, err))
+	}
+	return sc
+}
+
+// GenerateWith is Generate under explicit bounds; any bound left at zero
+// takes its DefaultConfig value, so partial configs are safe.
+func GenerateWith(seed int64, cfg Config) (*Scenario, error) {
+	if cfg.MaxRelations <= 0 {
+		cfg.MaxRelations = DefaultConfig.MaxRelations
+	}
+	if cfg.MaxArity <= 0 {
+		cfg.MaxArity = DefaultConfig.MaxArity
+	}
+	if cfg.MaxRules <= 0 {
+		cfg.MaxRules = DefaultConfig.MaxRules
+	}
+	if cfg.MaxExtraAtoms < 0 {
+		cfg.MaxExtraAtoms = DefaultConfig.MaxExtraAtoms
+	}
+	if cfg.MaxTuplesPerRelation < 0 {
+		cfg.MaxTuplesPerRelation = DefaultConfig.MaxTuplesPerRelation
+	}
+	if cfg.IntDomain <= 0 {
+		cfg.IntDomain = DefaultConfig.IntDomain
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &generator{rng: rng, cfg: cfg}
+	g.schema()
+	g.program()
+	sc := &Scenario{
+		Seed:          seed,
+		SchemaSource:  g.schemaSrc(),
+		ProgramSource: g.programSrc(),
+	}
+	var err error
+	sc.Schema, err = engine.ParseSchema(sc.SchemaSource)
+	if err != nil {
+		return nil, fmt.Errorf("generated schema invalid: %w\n%s", err, sc.SchemaSource)
+	}
+	sc.Program, err = datalog.ParseAndValidate(sc.ProgramSource, sc.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("generated program invalid: %w\n%s", err, sc.ProgramSource)
+	}
+	sc.DB = g.database(sc.Schema)
+	return sc, nil
+}
+
+// kind tags a column (and the variables bound to it) as integer- or
+// string-valued, so generated comparisons and constants are well-typed.
+type kind int
+
+const (
+	kindInt kind = iota
+	kindStr
+)
+
+type relation struct {
+	name  string
+	kinds []kind // per column
+}
+
+type generator struct {
+	rng  *rand.Rand
+	cfg  Config
+	rels []relation
+	// allowCycles lets delta body atoms reference any relation (including
+	// the head's own), producing recursive programs; otherwise delta
+	// dependencies point strictly at earlier relations, guaranteeing an
+	// acyclic program.
+	allowCycles bool
+	rules       []string
+}
+
+func (g *generator) schema() {
+	n := 1 + g.rng.Intn(g.cfg.MaxRelations)
+	for i := 0; i < n; i++ {
+		arity := 1 + g.rng.Intn(g.cfg.MaxArity)
+		kinds := make([]kind, arity)
+		for c := range kinds {
+			if g.rng.Intn(4) == 0 {
+				kinds[c] = kindStr
+			}
+		}
+		g.rels = append(g.rels, relation{name: fmt.Sprintf("R%d", i), kinds: kinds})
+	}
+	g.allowCycles = g.rng.Intn(2) == 0
+}
+
+func (g *generator) schemaSrc() string {
+	var b strings.Builder
+	for _, r := range g.rels {
+		b.WriteString(r.name)
+		b.WriteByte('(')
+		for c := range r.kinds {
+			if c > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "a%d", c)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+// boundVar is one variable with the kind of the column that bound it.
+type boundVar struct {
+	name string
+	k    kind
+}
+
+func (g *generator) program() {
+	n := 1 + g.rng.Intn(g.cfg.MaxRules)
+	for i := 0; i < n; i++ {
+		g.rules = append(g.rules, g.rule())
+	}
+}
+
+// rule emits one valid delta rule: head ∆_Rh(X), body Rh(X) plus random
+// base/delta atoms and an optional comparison, all type-consistent.
+func (g *generator) rule() string {
+	h := g.rng.Intn(len(g.rels))
+	head := g.rels[h]
+
+	nextVar := 0
+	freshVar := func(k kind) boundVar {
+		v := boundVar{name: fmt.Sprintf("v%d", nextVar), k: k}
+		nextVar++
+		return v
+	}
+	var bound []boundVar
+
+	// Head/self terms: distinct fresh variables (Def. 3.1 requires the
+	// body to contain Rh with exactly the head's term vector).
+	headVars := make([]string, len(head.kinds))
+	for c, k := range head.kinds {
+		v := freshVar(k)
+		bound = append(bound, v)
+		headVars[c] = v.name
+	}
+	selfAtom := head.name + "(" + strings.Join(headVars, ", ") + ")"
+
+	var atoms []string
+	atoms = append(atoms, selfAtom)
+	for extra := g.rng.Intn(g.cfg.MaxExtraAtoms + 1); extra > 0; extra-- {
+		delta := g.rng.Intn(5) < 2
+		var bi int
+		if delta && !g.allowCycles {
+			if h == 0 {
+				delta = false // no earlier relation to depend on
+			} else {
+				bi = g.rng.Intn(h)
+			}
+		}
+		if !delta || g.allowCycles {
+			bi = g.rng.Intn(len(g.rels))
+		}
+		rel := g.rels[bi]
+		terms := make([]string, len(rel.kinds))
+		for c, k := range rel.kinds {
+			switch g.rng.Intn(10) {
+			case 0, 1: // constant of the column's kind
+				terms[c] = g.constant(k)
+			case 2, 3, 4: // fresh variable
+				v := freshVar(k)
+				bound = append(bound, v)
+				terms[c] = v.name
+			default: // reuse a bound variable of the same kind (join!)
+				if v, ok := g.pickVar(bound, k); ok {
+					terms[c] = v
+				} else {
+					v := freshVar(k)
+					bound = append(bound, v)
+					terms[c] = v.name
+				}
+			}
+		}
+		name := rel.name
+		if delta {
+			name = "Delta_" + name
+		}
+		atoms = append(atoms, name+"("+strings.Join(terms, ", ")+")")
+	}
+
+	// Optional comparison on an int variable (comparisons must reference
+	// bound variables only).
+	if g.rng.Intn(5) < 2 {
+		if v, ok := g.pickVar(bound, kindInt); ok {
+			ops := []string{"<", "<=", ">", ">=", "!=", "="}
+			op := ops[g.rng.Intn(len(ops))]
+			atoms = append(atoms, fmt.Sprintf("%s %s %d", v, op, g.rng.Intn(g.cfg.IntDomain)))
+		}
+	}
+
+	return fmt.Sprintf("Delta_%s(%s) :- %s.", head.name, strings.Join(headVars, ", "), strings.Join(atoms, ", "))
+}
+
+func (g *generator) pickVar(bound []boundVar, k kind) (string, bool) {
+	var cands []string
+	for _, v := range bound {
+		if v.k == k {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+func (g *generator) constant(k kind) string {
+	if k == kindStr {
+		return "'" + string(rune('a'+g.rng.Intn(3))) + "'"
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(g.cfg.IntDomain))
+}
+
+func (g *generator) programSrc() string {
+	return strings.Join(g.rules, "\n") + "\n"
+}
+
+func (g *generator) database(schema *engine.Schema) *engine.Database {
+	db := engine.NewDatabase(schema)
+	for ri, rs := range schema.Relations {
+		kinds := g.rels[ri].kinds
+		n := g.rng.Intn(g.cfg.MaxTuplesPerRelation + 1)
+		for i := 0; i < n; i++ {
+			vals := make([]engine.Value, rs.Arity())
+			for c := range vals {
+				if kinds[c] == kindStr {
+					vals[c] = engine.Str(string(rune('a' + g.rng.Intn(3))))
+				} else {
+					vals[c] = engine.Int(g.rng.Intn(g.cfg.IntDomain))
+				}
+			}
+			db.MustInsert(rs.Name, vals...) // duplicates dedup to the stored tuple
+		}
+	}
+	return db
+}

@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+)
+
+// quickScenarios is the fixed-seed CI budget: every run checks the same
+// seeds 1..quickScenarios, so a red CI reproduces locally from the seed in
+// the failure message. CI runs this under -race (see .github/workflows).
+const quickScenarios = 500
+
+// checkScenario asserts the paper-proved invariants on one scenario:
+//
+//  1. Stability: each semantics' repaired database is stable (Def. 3.12).
+//  2. Deletion-only: the stabilizing set ⊆ input tuples, the repaired
+//     instance ⊆ input instance, and sizes reconcile exactly.
+//  3. Determinism: sequential, parallel (4 workers), prepared, and
+//     forked-input execution produce byte-identical results.
+//  4. Containments (Prop. 3.20): Stage ⊆ End, Step ⊆ End, and — when the
+//     solver proved minimality — |Ind| ≤ |Step|, |Ind| ≤ |Stage|.
+func checkScenario(t *testing.T, sc *Scenario) {
+	t.Helper()
+	prep, err := datalog.Prepare(sc.Program, sc.Schema)
+	if err != nil {
+		t.Fatalf("seed %d: prepare: %v", sc.Seed, err)
+	}
+	snap := sc.DB.Freeze()
+
+	results := make(map[core.Semantics]*core.Result, len(core.AllSemantics))
+	for _, sem := range core.AllSemantics {
+		res, repaired, err := core.Run(sc.DB, sc.Program, sem)
+		if err != nil {
+			t.Fatalf("seed %d: %s: %v", sc.Seed, sem, err)
+		}
+		results[sem] = res
+
+		// (1) Stability of the repaired instance.
+		stable, err := core.CheckStable(repaired, sc.Program)
+		if err != nil {
+			t.Fatalf("seed %d: %s stability check: %v", sc.Seed, sem, err)
+		}
+		if !stable {
+			t.Fatalf("seed %d: %s repaired database is not stable\nprogram:\n%s", sc.Seed, sem, sc.ProgramSource)
+		}
+
+		// (2) Deletion-only.
+		for _, tp := range res.Deleted {
+			if sc.DB.Lookup(tp.Key()) == nil {
+				t.Fatalf("seed %d: %s deleted %s, which is not a live input tuple", sc.Seed, sem, tp.Key())
+			}
+		}
+		live := 0
+		for _, rs := range sc.Schema.Relations {
+			repaired.Relation(rs.Name).Scan(func(tp *engine.Tuple) bool {
+				live++
+				if sc.DB.Lookup(tp.Key()) == nil {
+					t.Fatalf("seed %d: %s repaired instance contains %s, absent from the input", sc.Seed, sem, tp.Key())
+				}
+				return true
+			})
+		}
+		if want := sc.DB.TotalTuples() - res.Size(); live != want {
+			t.Fatalf("seed %d: %s repaired instance has %d tuples, want %d (input %d - deleted %d)",
+				sc.Seed, sem, live, want, sc.DB.TotalTuples(), res.Size())
+		}
+
+		// (3) Determinism across execution strategies.
+		seqKeys := fmt.Sprintf("%v", res.Keys())
+		strategies := []struct {
+			name string
+			run  func() (*core.Result, error)
+		}{
+			{"parallel", func() (*core.Result, error) {
+				r, _, err := core.RunWith(sc.DB, sc.Program, sem, core.Options{Parallelism: 4})
+				return r, err
+			}},
+			{"prepared", func() (*core.Result, error) {
+				r, _, err := core.RunWith(sc.DB, sc.Program, sem, core.Options{Prepared: prep})
+				return r, err
+			}},
+			{"forked", func() (*core.Result, error) {
+				r, _, err := core.Run(snap.Fork(), sc.Program, sem)
+				return r, err
+			}},
+		}
+		for _, st := range strategies {
+			r, err := st.run()
+			if err != nil {
+				t.Fatalf("seed %d: %s/%s: %v", sc.Seed, sem, st.name, err)
+			}
+			if got := fmt.Sprintf("%v", r.Keys()); got != seqKeys {
+				t.Fatalf("seed %d: %s/%s nondeterministic:\n sequential: %s\n %s: %s\nprogram:\n%s",
+					sc.Seed, sem, st.name, seqKeys, st.name, got, sc.ProgramSource)
+			}
+		}
+	}
+
+	// (4) Always-true containments.
+	cont := core.CheckContainment(results)
+	if !cont.StageInEnd {
+		t.Fatalf("seed %d: Stage ⊄ End\nprogram:\n%s", sc.Seed, sc.ProgramSource)
+	}
+	if !cont.StepInEnd {
+		t.Fatalf("seed %d: Step ⊄ End\nprogram:\n%s", sc.Seed, sc.ProgramSource)
+	}
+	if ind := results[core.SemIndependent]; ind.Optimal {
+		if !cont.IndLeStep || !cont.IndLeStage {
+			t.Fatalf("seed %d: optimal |Ind|=%d exceeds |Step|=%d or |Stage|=%d\nprogram:\n%s",
+				sc.Seed, ind.Size(), results[core.SemStep].Size(), results[core.SemStage].Size(), sc.ProgramSource)
+		}
+	}
+}
+
+// TestGeneratedInvariantsQuick is the fixed-seed CI mode: 500 scenarios,
+// every paper invariant, each scenario an independent subtest so failures
+// name their seed.
+func TestGeneratedInvariantsQuick(t *testing.T) {
+	for seed := int64(1); seed <= quickScenarios; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkScenario(t, Generate(seed))
+		})
+	}
+}
+
+// soakBase makes `go test -count=N` cover disjoint seed blocks: each run
+// of the soak test claims the next block, so repeated runs explore new
+// scenarios instead of re-checking the same ones.
+var soakBase atomic.Int64
+
+// TestGeneratedInvariantsSoak scales beyond CI: set GEN_SOAK to a scenario
+// count (and optionally -count to multiply runs over fresh seed blocks):
+//
+//	GEN_SOAK=5000 go test -race -run Soak -count=4 ./internal/gen
+func TestGeneratedInvariantsSoak(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("GEN_SOAK"))
+	if n <= 0 {
+		t.Skip("set GEN_SOAK=<scenarios> to run the soak suite")
+	}
+	base := soakBase.Add(int64(n)) - int64(n)
+	// Soak seeds live far above the quick block so the two modes never
+	// overlap.
+	const soakOffset = 1 << 20
+	for i := 0; i < n; i++ {
+		seed := soakOffset + base + int64(i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkScenario(t, Generate(seed))
+		})
+	}
+}
+
+// TestGeneratorDeterminism: the same seed yields the same scenario.
+func TestGeneratorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.SchemaSource != b.SchemaSource || a.ProgramSource != b.ProgramSource {
+			t.Fatalf("seed %d: generator nondeterministic", seed)
+		}
+		if a.DB.TotalTuples() != b.DB.TotalTuples() {
+			t.Fatalf("seed %d: database nondeterministic", seed)
+		}
+	}
+}
+
+// TestGeneratorCoversBothShapes: the seed space must exercise recursive
+// and non-recursive programs, and non-trivial databases.
+func TestGeneratorCoversBothShapes(t *testing.T) {
+	recursive, acyclic, nonEmpty, firing := 0, 0, 0, 0
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := Generate(seed)
+		if sc.Program.Recursive {
+			recursive++
+		} else {
+			acyclic++
+		}
+		if sc.DB.TotalTuples() > 0 {
+			nonEmpty++
+		}
+		if stable, _ := core.CheckStable(sc.DB, sc.Program); !stable {
+			firing++
+		}
+	}
+	if recursive == 0 || acyclic == 0 {
+		t.Errorf("shape coverage: %d recursive, %d acyclic — want both", recursive, acyclic)
+	}
+	if nonEmpty < 150 {
+		t.Errorf("only %d/200 scenarios have tuples", nonEmpty)
+	}
+	// Scenarios where no rule fires are legal but boring; most seeds must
+	// produce actual repair work.
+	if firing < 50 {
+		t.Errorf("only %d/200 scenarios are unstable (have repair work)", firing)
+	}
+}
+
+// TestGenerateWithPartialConfig: unspecified bounds default instead of
+// panicking inside the generator.
+func TestGenerateWithPartialConfig(t *testing.T) {
+	sc, err := GenerateWith(1, Config{MaxRelations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Program == nil || sc.DB == nil {
+		t.Fatal("partial config produced an incomplete scenario")
+	}
+	if _, err := GenerateWith(2, Config{MaxRules: 1, MaxExtraAtoms: 0, MaxTuplesPerRelation: 0}); err != nil {
+		t.Fatal(err)
+	}
+}

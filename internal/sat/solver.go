@@ -18,7 +18,15 @@ type Options struct {
 	// Min-Ones. The search minimizes total weight; Result.Cost still
 	// counts true variables while Result.WeightedCost is the objective.
 	Weights []int64
+	// Cancel, when non-nil, is polled every cancelCheckEvery search nodes;
+	// returning true aborts the search as if the node budget were
+	// exhausted (the best solution found so far is returned with
+	// Optimal=false). Used to thread request cancellation into the solver.
+	Cancel func() bool
 }
+
+// cancelCheckEvery is the node interval between Options.Cancel polls.
+const cancelCheckEvery = 256
 
 // DefaultMaxNodes is the search budget used when Options.MaxNodes is 0.
 // The greedy descent seeds a good solution before the search starts, so an
@@ -65,6 +73,7 @@ type solver struct {
 	trail    []int32 // assigned vars in order
 	satTrail []int32 // clauses satisfied in order
 
+	cancel    func() bool
 	weights   []int64
 	costNow   int64
 	bestCost  int64
@@ -99,6 +108,7 @@ func newSolver(f *Formula, opts Options) *solver {
 	if s.maxNodes <= 0 {
 		s.maxNodes = DefaultMaxNodes
 	}
+	s.cancel = opts.Cancel
 	s.maxWork = s.maxNodes * workPerNode
 	if opts.Weights != nil {
 		s.weights = make([]int64, n+1)
@@ -457,6 +467,10 @@ func (s *solver) record() {
 func (s *solver) search() {
 	s.nodes++
 	if s.nodes > s.maxNodes || s.work > s.maxWork {
+		s.exhausted = true
+		return
+	}
+	if s.cancel != nil && s.nodes%cancelCheckEvery == 0 && s.cancel() {
 		s.exhausted = true
 		return
 	}

@@ -1,0 +1,420 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/sideeffect"
+)
+
+// The JSON API. All bodies are JSON; errors come back as
+// {"error": "..."} with a meaningful status code.
+//
+//	GET    /healthz                                liveness + cache stats
+//	GET    /v1/sessions                            list cached sessions
+//	POST   /v1/sessions                            register a session
+//	DELETE /v1/sessions/{name}                     evict a session
+//	POST   /v1/sessions/{name}/repair              run one semantics
+//	POST   /v1/sessions/{name}/repair-all          run all four + containments
+//	POST   /v1/sessions/{name}/is-stable           stability probe
+//	POST   /v1/sessions/{name}/delete-view-tuple   deletion propagation (§7)
+
+// RegisterRequest is the POST /v1/sessions body.
+type RegisterRequest struct {
+	// Name identifies the session in later requests.
+	Name string `json:"name"`
+	// Schema is the schema source, one "Rel(attr, ...)" per line.
+	Schema string `json:"schema"`
+	// Program is the delta program source.
+	Program string `json:"program"`
+	// Tuples lists rows per relation. Values are JSON scalars: integral
+	// numbers become ints, other numbers floats, strings strings.
+	Tuples map[string][][]any `json:"tuples"`
+	// Warm eagerly prepares and freezes the session instead of leaving it
+	// to the first request.
+	Warm bool `json:"warm,omitempty"`
+}
+
+// RepairRequest is the body of repair, repair-all, and is-stable calls.
+type RepairRequest struct {
+	// Semantics is one of "independent", "step", "stage", "end"
+	// (repair only).
+	Semantics string `json:"semantics,omitempty"`
+	// TimeoutMS bounds the request; 0 uses the server default, < 0
+	// disables it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallelism overrides the server's per-request worker count.
+	Parallelism int `json:"parallelism,omitempty"`
+	// SolverMaxNodes overrides the SAT budget (independent semantics).
+	SolverMaxNodes int64 `json:"solver_max_nodes,omitempty"`
+}
+
+func (rr *RepairRequest) options() RequestOptions {
+	opts := RequestOptions{
+		Parallelism:    rr.Parallelism,
+		SolverMaxNodes: rr.SolverMaxNodes,
+	}
+	switch {
+	case rr.TimeoutMS > 0:
+		opts.Timeout = time.Duration(rr.TimeoutMS) * time.Millisecond
+	case rr.TimeoutMS < 0:
+		opts.Timeout = -1
+	}
+	return opts
+}
+
+// RepairResponse reports one semantics' repair.
+type RepairResponse struct {
+	Session   string         `json:"session"`
+	Semantics string         `json:"semantics"`
+	Size      int            `json:"size"`
+	Deleted   []string       `json:"deleted"`
+	ByRel     map[string]int `json:"deleted_by_relation,omitempty"`
+	Rounds    int            `json:"rounds"`
+	Optimal   bool           `json:"optimal"`
+	ElapsedUS int64          `json:"elapsed_us"`
+}
+
+func repairResponse(name string, res *core.Result) RepairResponse {
+	return RepairResponse{
+		Session:   name,
+		Semantics: res.Semantics.String(),
+		Size:      res.Size(),
+		Deleted:   res.Keys(),
+		ByRel:     res.ByRelation(),
+		Rounds:    res.Rounds,
+		Optimal:   res.Optimal,
+		ElapsedUS: res.Timing.Total().Microseconds(),
+	}
+}
+
+// RepairAllResponse reports all four semantics plus the paper's Table 3
+// containment flags.
+type RepairAllResponse struct {
+	Session     string                    `json:"session"`
+	Results     map[string]RepairResponse `json:"results"`
+	Containment core.Containment          `json:"containment"`
+}
+
+// ViewDeleteRequest is the delete-view-tuple body.
+type ViewDeleteRequest struct {
+	// View is a conjunctive query, e.g. "V(x, y) :- R(x, z), S(z, y).".
+	View string `json:"view"`
+	// Values selects the view row to remove.
+	Values         []any `json:"values"`
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	SolverMaxNodes int64 `json:"solver_max_nodes,omitempty"`
+}
+
+// ViewDeleteResponse reports a deletion-propagation solution.
+type ViewDeleteResponse struct {
+	Session        string   `json:"session"`
+	Size           int      `json:"size"`
+	Deleted        []string `json:"deleted"`
+	Optimal        bool     `json:"optimal"`
+	ViewRowsBefore int      `json:"view_rows_before"`
+	ViewRowsAfter  int      `json:"view_rows_after"`
+	ElapsedUS      int64    `json:"elapsed_us"`
+}
+
+// Handler returns the JSON API over this service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeregister)
+	mux.HandleFunc("POST /v1/sessions/{name}/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/sessions/{name}/repair-all", s.handleRepairAll)
+	mux.HandleFunc("POST /v1/sessions/{name}/is-stable", s.handleIsStable)
+	mux.HandleFunc("POST /v1/sessions/{name}/delete-view-tuple", s.handleDeleteViewTuple)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicate):
+		status = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeBadRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+// decodeBody decodes a JSON body with numbers kept exact; an empty body
+// decodes to the zero value so POSTs without options work.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// jsonValue converts one decoded JSON scalar to an engine Value.
+func jsonValue(raw any) (engine.Value, error) {
+	switch x := raw.(type) {
+	case string:
+		return engine.Str(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return engine.Int64(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return engine.Value{}, fmt.Errorf("bad number %q", x.String())
+		}
+		return engine.Float(f), nil
+	case float64: // decoder without UseNumber
+		if x == float64(int64(x)) {
+			return engine.Int64(int64(x)), nil
+		}
+		return engine.Float(x), nil
+	default:
+		return engine.Value{}, fmt.Errorf("unsupported value %v (%T): want string or number", raw, raw)
+	}
+}
+
+func jsonValues(raw []any) ([]engine.Value, error) {
+	out := make([]engine.Value, len(raw))
+	for i, r := range raw {
+		v, err := jsonValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"sessions":  s.Len(),
+		"evictions": s.Evictions(),
+	})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	schema, db, prog, err := buildSession(&req)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	// Count before Register publishes the session: a concurrent first
+	// request may start freezing db the moment it is visible.
+	tuples := db.TotalTuples()
+	if err := s.Register(req.Name, schema, db, prog); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Warm {
+		if err := s.Warm(req.Name); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":   req.Name,
+		"tuples": tuples,
+		"rules":  len(prog.Rules),
+	})
+}
+
+// buildSession parses and loads a RegisterRequest into engine objects.
+func buildSession(req *RegisterRequest) (*engine.Schema, *engine.Database, *datalog.Program, error) {
+	if req.Name == "" {
+		return nil, nil, nil, fmt.Errorf("missing session name")
+	}
+	schema, err := engine.ParseSchema(req.Schema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for rel := range req.Tuples {
+		if schema.Relation(rel) == nil {
+			return nil, nil, nil, fmt.Errorf("tuples reference unknown relation %q", rel)
+		}
+	}
+	db := engine.NewDatabase(schema)
+	// Load relations in schema declaration order (not map order) so tuple
+	// identities — and therefore result ordering — are deterministic for a
+	// given registration body.
+	for _, rs := range schema.Relations {
+		for ri, row := range req.Tuples[rs.Name] {
+			vals, err := jsonValues(row)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("relation %s row %d: %w", rs.Name, ri, err)
+			}
+			if _, err := db.Insert(rs.Name, vals...); err != nil {
+				return nil, nil, nil, fmt.Errorf("relation %s row %d: %w", rs.Name, ri, err)
+			}
+		}
+	}
+	prog, err := datalog.ParseAndValidate(req.Program, schema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return schema, db, prog, nil
+}
+
+func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.Deregister(name) {
+		writeErr(w, fmt.Errorf("%w: %q", ErrNotFound, name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+}
+
+func semFromString(s string) (core.Semantics, error) {
+	switch s {
+	case "":
+		return 0, fmt.Errorf("missing semantics: want one of independent, step, stage, end")
+	case "independent", "ind":
+		return core.SemIndependent, nil
+	case "step":
+		return core.SemStep, nil
+	case "stage":
+		return core.SemStage, nil
+	case "end":
+		return core.SemEnd, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q: want one of independent, step, stage, end", s)
+	}
+}
+
+func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RepairRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	sem, err := semFromString(req.Semantics)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	res, _, err := s.Repair(r.Context(), name, sem, req.options())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, repairResponse(name, res))
+}
+
+func (s *Service) handleRepairAll(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RepairRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	results, err := s.RepairAll(r.Context(), name, req.options())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := RepairAllResponse{
+		Session:     name,
+		Results:     make(map[string]RepairResponse, len(results)),
+		Containment: core.CheckContainment(results),
+	}
+	for sem, res := range results {
+		resp.Results[sem.String()] = repairResponse(name, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleIsStable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req RepairRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	stable, err := s.IsStable(r.Context(), name, req.options())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": name, "stable": stable})
+}
+
+func (s *Service) handleDeleteViewTuple(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ViewDeleteRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if req.View == "" {
+		writeBadRequest(w, fmt.Errorf("missing view source"))
+		return
+	}
+	target, err := jsonValues(req.Values)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	opts := (&RepairRequest{TimeoutMS: req.TimeoutMS, SolverMaxNodes: req.SolverMaxNodes}).options()
+	res, err := s.DeleteViewTuple(r.Context(), name, req.View, target, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewDeleteResponse(name, res))
+}
+
+func viewDeleteResponse(name string, res *sideeffect.Result) ViewDeleteResponse {
+	keys := make([]string, len(res.Deleted))
+	for i, t := range res.Deleted {
+		keys[i] = t.Key()
+	}
+	return ViewDeleteResponse{
+		Session:        name,
+		Size:           res.Size(),
+		Deleted:        keys,
+		Optimal:        res.Optimal,
+		ViewRowsBefore: res.ViewRowsBefore,
+		ViewRowsAfter:  res.ViewRowsAfter,
+		ElapsedUS:      res.Elapsed.Microseconds(),
+	}
+}

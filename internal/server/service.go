@@ -1,0 +1,431 @@
+// Package server turns the repair library into a concurrent repair
+// service: named (schema, program, database) sessions are registered
+// once, compiled and frozen once (datalog.Prepare + Database.Freeze), and
+// every request forks the shared snapshot — zero deep copies and zero
+// re-planning on the hot path. The package exposes both an embeddable Go
+// API (Service) and a net/http JSON API (Service.Handler); cmd/deltarepaird
+// wraps the latter in a binary.
+//
+// Concurrency model:
+//
+//   - Admission control: a bounded token pool (Config.MaxInFlight) caps
+//     the number of repairs executing at once; excess requests queue in
+//     acquire() and honor their context while waiting.
+//   - Session cache: an LRU keyed by session name caches the Prepared
+//     plan and frozen Snapshot. Warming is single-flight (sync.Once per
+//     session): concurrent first requests prepare and freeze exactly once.
+//   - Isolation: every request works on a private Snapshot.Fork; forks
+//     share the frozen storage and warm indexes read-only, so requests
+//     never observe each other's deletions.
+//   - Cancellation: per-request deadlines (Config.DefaultTimeout or the
+//     request's own timeout) flow through core.Options.Ctx into the
+//     executors' derivation rounds and the SAT search.
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/sideeffect"
+)
+
+// Service errors distinguished by the HTTP layer.
+var (
+	// ErrNotFound reports a request against an unknown (or evicted)
+	// session name.
+	ErrNotFound = errors.New("server: session not found")
+	// ErrDuplicate reports a Register against a name already registered.
+	ErrDuplicate = errors.New("server: session already registered")
+	// ErrBadRequest wraps client-side input errors (e.g. a malformed view
+	// source) so the HTTP layer maps them to 400 rather than 500.
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Default configuration values.
+const (
+	// DefaultMaxSessions is the session-cache capacity when
+	// Config.MaxSessions is 0.
+	DefaultMaxSessions = 64
+)
+
+// Config tunes a Service.
+type Config struct {
+	// MaxSessions caps the session cache; registering beyond it evicts
+	// the least-recently-used session. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// MaxInFlight bounds the number of concurrently executing repairs
+	// (admission control); excess requests queue, honoring their context
+	// while waiting. 0 means 2×GOMAXPROCS.
+	MaxInFlight int
+	// DefaultTimeout bounds each request when the request itself does not
+	// choose a timeout. 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// Parallelism is the per-request rule-evaluation worker count handed
+	// to core.Options.Parallelism (0 or 1 = sequential). Total executor
+	// concurrency is bounded by MaxInFlight × Parallelism.
+	Parallelism int
+	// SolverMaxNodes is the default Min-Ones-SAT budget for independent
+	// semantics and view-tuple deletion. 0 means the solver default.
+	SolverMaxNodes int64
+}
+
+// Service is a concurrent repair service over a cache of named sessions.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	tokens chan struct{}
+
+	mu     sync.Mutex
+	byName map[string]*list.Element
+	lru    *list.List // of *Session; front = most recently used
+
+	evictions atomic.Int64
+}
+
+// New builds a Service; zero-value Config fields take the documented
+// defaults.
+func New(cfg Config) *Service {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Service{
+		cfg:    cfg,
+		tokens: make(chan struct{}, cfg.MaxInFlight),
+		byName: make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+}
+
+// Session is one registered (schema, program, database) triple with its
+// lazily warmed execution state. Sessions are owned by the Service;
+// callers interact through Service methods.
+type Session struct {
+	name   string
+	schema *engine.Schema
+	db     *engine.Database
+	prog   *datalog.Program
+	tuples int // live tuple count at Register time (db may be mid-freeze later)
+
+	// Single-flight warming: the first request (or Warm call) compiles
+	// the program and freezes the database exactly once; concurrent
+	// callers block on the Once and then share the results. warmDone is
+	// set (release-store) after a successful warm so stats readers can
+	// peek at snap without blocking on a warm in flight.
+	warmOnce sync.Once
+	prep     *datalog.Prepared
+	snap     *engine.Snapshot
+	warmErr  error
+	warmDone atomic.Bool
+
+	requests atomic.Int64
+}
+
+func (sess *Session) warm() error {
+	sess.warmOnce.Do(func() {
+		prep, err := datalog.Prepare(sess.prog, sess.schema)
+		if err != nil {
+			sess.warmErr = fmt.Errorf("server: preparing session %q: %w", sess.name, err)
+			return
+		}
+		sess.prep = prep
+		sess.snap = sess.db.Freeze()
+		sess.warmDone.Store(true)
+	})
+	return sess.warmErr
+}
+
+// Register adds a named session. The Service takes ownership of db: the
+// caller must not mutate it afterwards (the first request freezes it into
+// the shared snapshot). Registering an existing name returns ErrDuplicate;
+// when the cache is full the least-recently-used session is evicted
+// (in-flight requests on an evicted session complete normally on their
+// forks). The program must already be validated against the schema.
+func (s *Service) Register(name string, schema *engine.Schema, db *engine.Database, prog *datalog.Program) error {
+	if name == "" {
+		return fmt.Errorf("server: session name must be non-empty")
+	}
+	if schema == nil || db == nil || prog == nil {
+		return fmt.Errorf("server: session %q needs a schema, database, and program", name)
+	}
+	if db.Schema != schema {
+		return fmt.Errorf("server: session %q database built over a different schema", name)
+	}
+	sess := &Session{name: name, schema: schema, db: db, prog: prog, tuples: db.TotalTuples()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	s.byName[name] = s.lru.PushFront(sess)
+	for s.lru.Len() > s.cfg.MaxSessions {
+		oldest := s.lru.Back()
+		victim := oldest.Value.(*Session)
+		s.lru.Remove(oldest)
+		delete(s.byName, victim.name)
+		s.evictions.Add(1)
+	}
+	return nil
+}
+
+// Deregister evicts a session by name, reporting whether it existed.
+func (s *Service) Deregister(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byName[name]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(el)
+	delete(s.byName, name)
+	return true
+}
+
+// session returns the named session, promoting it to most-recently-used.
+func (s *Service) session(name string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*Session), nil
+}
+
+// Warm eagerly compiles and freezes the named session (normally done
+// lazily by the first request).
+func (s *Service) Warm(name string) error {
+	sess, err := s.session(name)
+	if err != nil {
+		return err
+	}
+	return sess.warm()
+}
+
+// SessionInfo is a point-in-time snapshot of one cached session's state.
+type SessionInfo struct {
+	Name      string `json:"name"`
+	Relations int    `json:"relations"`
+	Rules     int    `json:"rules"`
+	Tuples    int    `json:"tuples"`
+	Recursive bool   `json:"recursive"`
+	Warmed    bool   `json:"warmed"`
+	// Requests counts repair/is-stable/view-deletion calls served.
+	Requests int64 `json:"requests"`
+	// Forks counts working copies minted from the shared snapshot — the
+	// engine's concurrent fork accounting; ≥ Requests once warmed because
+	// the executors fork internally too.
+	Forks int64 `json:"forks"`
+}
+
+// Sessions lists cached sessions, most recently used first.
+func (s *Service) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		sess := el.Value.(*Session)
+		info := SessionInfo{
+			Name:      sess.name,
+			Relations: len(sess.schema.Relations),
+			Rules:     len(sess.prog.Rules),
+			Recursive: sess.prog.Recursive,
+			Requests:  sess.requests.Load(),
+		}
+		// snap is published by warmDone's release-store; an acquire-load
+		// here means stats never block on (or race with) a warm in flight.
+		if sess.warmDone.Load() {
+			info.Warmed = true
+			info.Tuples = sess.snap.TotalTuples()
+			info.Forks = sess.snap.Forks()
+		} else {
+			info.Tuples = sess.tuples
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Evictions returns the number of sessions evicted by LRU pressure.
+func (s *Service) Evictions() int64 { return s.evictions.Load() }
+
+// MaxInFlight returns the effective admission bound (the resolved value,
+// after defaulting).
+func (s *Service) MaxInFlight() int { return cap(s.tokens) }
+
+// Len returns the number of cached sessions.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// RequestOptions tunes one request.
+type RequestOptions struct {
+	// Timeout overrides Config.DefaultTimeout for this request: > 0 sets
+	// a deadline, < 0 disables the default, 0 keeps the default.
+	Timeout time.Duration
+	// Parallelism overrides Config.Parallelism (> 0).
+	Parallelism int
+	// SolverMaxNodes overrides Config.SolverMaxNodes (> 0).
+	SolverMaxNodes int64
+}
+
+// acquire takes an admission token, honoring ctx while queued.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() { <-s.tokens }
+
+func normalize(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// requestCtx applies the effective timeout.
+func (s *Service) requestCtx(ctx context.Context, opts RequestOptions) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	switch {
+	case opts.Timeout > 0:
+		d = opts.Timeout
+	case opts.Timeout < 0:
+		d = 0
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+func (s *Service) coreOptions(sess *Session, ctx context.Context, opts RequestOptions) core.Options {
+	par := s.cfg.Parallelism
+	if opts.Parallelism > 0 {
+		par = opts.Parallelism
+	}
+	nodes := s.cfg.SolverMaxNodes
+	if opts.SolverMaxNodes > 0 {
+		nodes = opts.SolverMaxNodes
+	}
+	return core.Options{
+		Prepared:    sess.prep,
+		Parallelism: par,
+		Ctx:         ctx,
+		Independent: core.IndependentOptions{MaxNodes: nodes},
+	}
+}
+
+// begin is the shared request prologue: admission, session lookup,
+// single-flight warming, accounting, and deadline installation. The caller
+// must defer both returned closures' work via done().
+func (s *Service) begin(ctx context.Context, name string, opts RequestOptions) (*Session, context.Context, func(), error) {
+	ctx = normalize(ctx)
+	if err := s.acquire(ctx); err != nil {
+		return nil, nil, nil, err
+	}
+	sess, err := s.session(name)
+	if err != nil {
+		s.release()
+		return nil, nil, nil, err
+	}
+	if err := sess.warm(); err != nil {
+		s.release()
+		return nil, nil, nil, err
+	}
+	reqCtx, cancel := s.requestCtx(ctx, opts)
+	sess.requests.Add(1)
+	done := func() {
+		cancel()
+		s.release()
+	}
+	return sess, reqCtx, done, nil
+}
+
+// Repair computes the stabilizing set for the named session under the
+// chosen semantics on a private fork of the shared snapshot. It returns
+// the result and the repaired fork (safe to read; discarding it is free).
+func (s *Service) Repair(ctx context.Context, name string, sem core.Semantics, opts RequestOptions) (*core.Result, *engine.Database, error) {
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
+	return core.RunWith(sess.snap.Fork(), sess.prog, sem, s.coreOptions(sess, reqCtx, opts))
+}
+
+// RepairAll runs all four semantics for the named session under one
+// admission token and one deadline, returning results keyed by semantics.
+func (s *Service) RepairAll(ctx context.Context, name string, opts RequestOptions) (map[core.Semantics]*core.Result, error) {
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	out := make(map[core.Semantics]*core.Result, len(core.AllSemantics))
+	for _, sem := range core.AllSemantics {
+		res, _, err := core.RunWith(sess.snap.Fork(), sess.prog, sem, s.coreOptions(sess, reqCtx, opts))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sem, err)
+		}
+		out[sem] = res
+	}
+	return out, nil
+}
+
+// IsStable reports whether the session's database is already stable
+// (Def. 3.12) using the cached prepared plans. The request deadline is
+// honored between rule probes.
+func (s *Service) IsStable(ctx context.Context, name string, opts RequestOptions) (bool, error) {
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return false, err
+	}
+	defer done()
+	return core.CheckStablePCtx(reqCtx, sess.snap.Fork(), sess.prep)
+}
+
+// DeleteViewTuple solves the deletion-propagation problem for the named
+// session: find a minimum base-deletion set removing the view row with the
+// given values while keeping the database stable under the session's
+// program (§7 of the paper). The view source is parsed per request against
+// the session schema.
+func (s *Service) DeleteViewTuple(ctx context.Context, name, viewSrc string, target []engine.Value, opts RequestOptions) (*sideeffect.Result, error) {
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	v, err := sideeffect.ParseView(viewSrc, sess.schema)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	nodes := s.cfg.SolverMaxNodes
+	if opts.SolverMaxNodes > 0 {
+		nodes = opts.SolverMaxNodes
+	}
+	res, _, err := sideeffect.DeleteViewTuple(sess.snap.Fork(), v, target, sess.prog,
+		sideeffect.Options{MaxNodes: nodes, Ctx: reqCtx})
+	if errors.Is(err, sideeffect.ErrNoSuchRow) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return res, err
+}

@@ -14,6 +14,8 @@
 package sideeffect
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -214,12 +216,21 @@ func (v *View) Eval(db *engine.Database) ([]*Row, error) {
 	return out, nil
 }
 
+// ErrNoSuchRow reports that the requested view row does not exist (a
+// caller-input error, distinguished so serving layers can map it to a
+// client-error status).
+var ErrNoSuchRow = errors.New("sideeffect: view has no row")
+
 // Options tunes the side-effect solver.
 type Options struct {
 	// MaxNodes is the Min-Ones-SAT budget (0 = solver default).
 	MaxNodes int64
 	// MaxClauses caps the stability formula (0 = core default).
 	MaxClauses int
+	// Ctx, when non-nil, cancels the solve: it is polled inside the SAT
+	// search and checked between phases, so a canceled request returns
+	// ctx.Err() instead of blocking on a hard instance.
+	Ctx context.Context
 }
 
 // Result reports a side-effect solution.
@@ -256,7 +267,7 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		}
 	}
 	if row == nil {
-		return nil, nil, fmt.Errorf("sideeffect: view has no row %v", target)
+		return nil, nil, fmt.Errorf("%w %v", ErrNoSuchRow, target)
 	}
 
 	// Build the formula: per witness, delete at least one participating
@@ -315,6 +326,9 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 		}
 		progPrep.ReleaseContext(ctx)
 	}
+	if err := core.CtxErr(opts.Ctx); err != nil {
+		return nil, nil, err
+	}
 
 	// Variable space: all tuples mentioned anywhere.
 	varOf := make(map[engine.TupleID]int)
@@ -352,7 +366,14 @@ func DeleteViewTuple(db *engine.Database, v *View, target []engine.Value, p *dat
 			return nil, nil, err
 		}
 	}
-	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes})
+	var cancel func() bool
+	if opts.Ctx != nil {
+		cancel = func() bool { return opts.Ctx.Err() != nil }
+	}
+	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes, Cancel: cancel})
+	if err := core.CtxErr(opts.Ctx); err != nil {
+		return nil, nil, err
+	}
 	if !solved.Satisfiable {
 		return nil, nil, fmt.Errorf("sideeffect: no deletion set removes the view tuple")
 	}

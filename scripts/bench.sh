@@ -70,6 +70,15 @@ END {
     # frozen base should cost ~1x the small-base fork (value ~1.0-1.2).
     ratio("scaling/fork_cost_10x_base", \
           "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/fork10x")
+    # Serving: cached-session requests (Prepare once / Freeze once / fork
+    # per request behind admission control) vs naive per-request Repair,
+    # at 1, 4, and 16 concurrent clients.
+    ratio("server_throughput/cached_vs_naive_c1", \
+          "BenchmarkServerThroughput/cached/c1", "BenchmarkServerThroughput/naive/c1")
+    ratio("server_throughput/cached_vs_naive_c4", \
+          "BenchmarkServerThroughput/cached/c4", "BenchmarkServerThroughput/naive/c4")
+    ratio("server_throughput/cached_vs_naive_c16", \
+          "BenchmarkServerThroughput/cached/c16", "BenchmarkServerThroughput/naive/c16")
     print "\n]"
 }
 ' "$raw" > "$out"

@@ -1,0 +1,29 @@
+package deltarepair
+
+import "repro/internal/server"
+
+// Serving layer re-exports: the concurrent repair service from
+// internal/server, embeddable through the public package. A Service
+// caches named (schema, program, database) sessions behind an LRU,
+// warms each exactly once (Prepare + Freeze, single-flight), and answers
+// repair / repair-all / is-stable / delete-view-tuple requests on private
+// copy-on-write forks of the shared snapshot, behind admission control
+// and per-request deadlines. Service.Handler exposes the JSON HTTP API
+// that cmd/deltarepaird serves.
+type (
+	// Service is a concurrent repair service over cached sessions; build
+	// one with NewServer.
+	Service = server.Service
+	// ServerConfig tunes a Service (cache size, admission bound, default
+	// timeout, per-request parallelism, solver budget).
+	ServerConfig = server.Config
+	// RequestOptions tunes one request (timeout, parallelism, solver
+	// budget overrides).
+	RequestOptions = server.RequestOptions
+	// SessionInfo is a point-in-time view of one cached session.
+	SessionInfo = server.SessionInfo
+)
+
+// NewServer builds a repair service; zero-value config fields take the
+// documented defaults.
+func NewServer(cfg ServerConfig) *Service { return server.New(cfg) }

@@ -1,0 +1,164 @@
+package deltarepair_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	deltarepair "repro"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// buildBenchWorkload models a production-shaped serving session: a
+// 14-relation schema and a 24-rule program (cascades, multi-delta joins,
+// and guard rules that plan but rarely fire) over a small hot instance, so
+// per-request planning and execution-state setup — exactly what the
+// session cache amortizes — are a realistic share of request cost.
+func buildBenchWorkload(tb testing.TB) (*engine.Database, *datalog.Program) {
+	tb.Helper()
+	schemaSrc := `
+Seed(gid, tag)
+T1(aid, bid)
+T2(aid, bid)
+T3(aid, bid)
+T4(aid, bid)
+T5(aid, bid)
+T6(aid, bid)
+Link(xid, yid)
+`
+	progSrc := `
+(c0) Delta_Seed(g, t) :- Seed(g, t), t = 'drop'.
+(r1) Delta_T1(a, b) :- T1(a, b), Delta_Seed(a, t).
+(r2) Delta_T2(a, b) :- T2(a, b), Delta_T1(z, a), a > 1000.
+(r3) Delta_T3(a, b) :- T3(a, b), Delta_T2(z, a), a > 1000.
+(r4) Delta_T4(a, b) :- T4(a, b), Delta_T3(z, a), a > 1000.
+(r5) Delta_T5(a, b) :- T5(a, b), Delta_T4(z, a), a > 1000.
+(r6) Delta_T6(a, b) :- T6(a, b), Delta_T5(z, a), a > 1000.
+(x1) Delta_Link(x, y) :- Link(x, y), Delta_T2(z, x), Delta_T4(w, y).
+(x2) Delta_Link(x, y) :- Link(x, y), Delta_T1(z, x), Delta_T6(w, y), x != y.
+(g1) Delta_T6(a, b) :- T6(a, b), T5(b, c), T4(c, d), a > 1000.
+(g2) Delta_T5(a, b) :- T5(a, b), T4(b, c), T3(c, d), b > 1000.
+(g3) Delta_T4(a, b) :- T4(a, b), Link(a, c), T6(c, d), a > 1000.
+(g4) Delta_T3(a, b) :- T3(a, b), Link(b, c), T5(c, d), b > 1000.
+(g5) Delta_T2(a, b) :- T2(a, b), T1(b, c), T3(c, d), a > 1000.
+(g6) Delta_Link(x, y) :- Link(x, y), T2(x, z), T4(z, w), T6(w, u), x > 1000.
+(g7) Delta_T1(a, b) :- T1(a, b), Link(b, c), T6(c, d), T5(d, e), a > 1000.
+(g8) Delta_Seed(g, t) :- Seed(g, t), T1(g, x), T2(x, y), T3(y, z), g > 1000.
+(g9) Delta_T6(a, b) :- T6(a, b), T1(a, c), T2(c, d), T3(d, e), a > 1000.
+(u1) Delta_T1(a, b) :- T1(a, b), T3(b, c), T5(c, d), a > 1000.
+(u2) Delta_T2(a, b) :- T2(a, b), T4(b, c), T6(c, d), a > 1000.
+(u3) Delta_T3(a, b) :- T3(a, b), T5(b, c), T1(c, d), a > 1000.
+(u4) Delta_T4(a, b) :- T4(a, b), T6(b, c), T2(c, d), a > 1000.
+(u5) Delta_T5(a, b) :- T5(a, b), T1(b, c), T3(c, d), a > 1000.
+(u6) Delta_T6(a, b) :- T6(a, b), T2(b, c), T4(c, d), a > 1000.
+`
+	schema, err := engine.ParseSchema(schemaSrc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	db := engine.NewDatabase(schema)
+	db.MustInsert("Seed", engine.Int(1), engine.Str("drop"))
+	db.MustInsert("Seed", engine.Int(2), engine.Str("keep"))
+	for i := 0; i < 2; i++ {
+		db.MustInsert("T1", engine.Int(1), engine.Int(10+i))
+	}
+	for r, rel := range []string{"T2", "T3", "T4", "T5", "T6"} {
+		for i := 0; i < 2; i++ {
+			db.MustInsert(rel, engine.Int(10+i), engine.Int(10+(i+r)%2))
+		}
+	}
+	db.MustInsert("Link", engine.Int(10), engine.Int(11))
+	db.MustInsert("Link", engine.Int(11), engine.Int(10))
+	prog, err := datalog.ParseAndValidate(progSrc, schema)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db, prog
+}
+
+// BenchmarkServerThroughput contrasts the serving hot path — cached
+// session: Prepare once, Freeze once, fork per request behind admission
+// control — against naive per-request Repair (re-plan + fork every call)
+// at 1, 4, and 16 concurrent clients. ns/op is wall-clock per request
+// across all clients, so 1/ns_per_op is the served request rate;
+// scripts/bench.sh turns each cached/naive pair into a
+// server_throughput/cached_vs_naive_cN speedup entry in the JSON
+// snapshot.
+func BenchmarkServerThroughput(b *testing.B) {
+	db, prog := buildBenchWorkload(b)
+	svcDB, svcProg := buildBenchWorkload(b)
+	svc := server.New(server.Config{MaxInFlight: 32})
+	if err := svc.Register("bench", svcDB.Schema, svcDB, svcProg); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Warm("bench"); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Freeze the naive leg's base once up front so both legs share the
+	// CoW fork machinery and the comparison isolates what the session
+	// cache actually saves: per-request planning (datalog.Prepare) and
+	// execution-state pooling.
+	db.Freeze()
+
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("cached/c%d", clients), func(b *testing.B) {
+			runClients(b, clients, func() error {
+				_, _, err := svc.Repair(ctx, "bench", core.SemStage, server.RequestOptions{})
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("naive/c%d", clients), func(b *testing.B) {
+			runClients(b, clients, func() error {
+				_, _, err := deltarepair.Repair(db, prog, deltarepair.Stage)
+				return err
+			})
+		})
+	}
+}
+
+// runClients splits b.N requests across the given number of concurrent
+// client goroutines and waits for all of them.
+func runClients(b *testing.B, clients int, req func() error) {
+	b.ReportAllocs()
+	// Settle GC debt inherited from earlier benchmarks in the same
+	// process so both legs start from comparable heaps.
+	runtime.GC()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	per := b.N / clients
+	extra := b.N % clients
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		n := per
+		if c < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := req(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errCh:
+		b.Fatal(err)
+	default:
+	}
+}
