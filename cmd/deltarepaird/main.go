@@ -17,6 +17,15 @@
 //	curl -s localhost:8080/v1/sessions/papers/repair \
 //	     -d '{"semantics": "stage", "timeout_ms": 500}'
 //
+//	# update the base data in place: a new snapshot version is minted,
+//	# untouched relations share storage with every earlier version
+//	curl -s localhost:8080/v1/sessions/papers/update \
+//	     -d '{"inserts": {"Pub": [[11, 1]]}, "deletes": {"Author": [[1, "alice"]]}}'
+//
+//	# read-your-writes: pin the version the update returned
+//	curl -s localhost:8080/v1/sessions/papers/repair \
+//	     -d '{"semantics": "stage", "version": 2}'
+//
 // See internal/server for the full API.
 package main
 
@@ -44,6 +53,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none)")
 		parallelism = flag.Int("parallelism", 0, "per-request rule-evaluation workers (0 = sequential)")
 		solverNodes = flag.Int64("solver-max-nodes", 0, "default Min-Ones-SAT node budget (0 = solver default)")
+		maxVersions = flag.Int("max-versions", 0, "retained snapshot versions per session for pinned reads (0 = engine default)")
 		demo        = flag.Bool("demo", false, "preload the paper's running example as session \"running-example\"")
 	)
 	flag.Parse()
@@ -54,6 +64,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		Parallelism:    *parallelism,
 		SolverMaxNodes: *solverNodes,
+		MaxVersions:    *maxVersions,
 	})
 
 	if *demo {

@@ -33,6 +33,15 @@ type deriveConfig struct {
 	// workers only fill per-rule emit buffers, and the buffers are merged
 	// in deterministic rule-then-enumeration order.
 	parallelism int
+	// warmSeeds, when non-nil, switches the loop into warm-continuation
+	// mode (end semantics after insert-only base updates): work's
+	// pre-existing deltas are installed as already-processed old deltas
+	// instead of the round-1 frontier, and round 1 evaluates only the
+	// insert-seeded passes over these relations — every genuinely new
+	// assignment binds at least one inserted tuple. Incompatible with
+	// capture and shrinkBases (the callers that set those re-derive from
+	// scratch).
+	warmSeeds map[string]*engine.Relation
 	// ctx carries per-request cancellation into the round loop: it is
 	// checked at the top of every round, before every rule evaluation, and
 	// every evalCheckEvery emitted assignments. Nil means never canceled.
@@ -64,10 +73,16 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 	old, frontier := prep.AcquireScratch()
 	defer prep.ReleaseScratch(old, frontier)
 	for _, rs := range schema.Relations {
-		// Pre-existing deltas (user-initiated deletions) seed the frontier.
-		fr := frontier[rs.Name]
+		// Pre-existing deltas seed the frontier (user-initiated deletions,
+		// §3.6) — except in warm-continuation mode, where they are a
+		// previous version's already-processed fixpoint and go straight to
+		// the old side; round 1 then probes only the inserted tuples.
+		dst := frontier[rs.Name]
+		if cfg.warmSeeds != nil {
+			dst = old[rs.Name]
+		}
 		work.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
-			fr.Insert(t)
+			dst.Insert(t)
 			return true
 		})
 	}
@@ -113,15 +128,36 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			}
 		}
 
+		// Warm-continuation round 1 probes only the insert-seeded passes:
+		// the pre-existing deltas are a fully processed fixpoint, so every
+		// new assignment must bind an inserted tuple.
+		warmRound := cfg.warmSeeds != nil && round == 1
+		seeded := func(rel string) bool { return cfg.warmSeeds[rel] != nil }
+
 		var eligible []int
 		for ri, pr := range prep.Rules {
-			if pr.NumDeltaBody() == 0 && round > 1 && !cfg.naive {
+			if warmRound {
+				if !pr.ReadsAny(seeded) {
+					continue // no seeded relation in the body: nothing new
+				}
+			} else if pr.NumDeltaBody() == 0 && round > 1 && !cfg.naive {
 				continue // condition rules fire only against D⁰/stage 1
 			}
 			eligible = append(eligible, ri)
 		}
 
-		if cfg.parallelism > 1 && len(eligible) > 1 {
+		evalOne := func(ri int, ec *datalog.ExecContext, emit func(*datalog.Assignment) bool) error {
+			if warmRound {
+				return prep.Rules[ri].EvalInsertSeeded(work, cfg.warmSeeds, ec, emit)
+			}
+			return evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ec, emit)
+		}
+
+		// The warm round runs sequentially even under parallelism: its
+		// plans probe live delta relations, whose indexes build lazily (a
+		// write); the round is tiny — bounded by the inserted tuples — so
+		// there is nothing worth parallelizing anyway.
+		if cfg.parallelism > 1 && len(eligible) > 1 && !warmRound {
 			bufs := make([][]*datalog.Assignment, len(prep.Rules))
 			errs := forEachRuleParallel(prep, cfg.parallelism, eligible,
 				func(ri int, ctx *datalog.ExecContext) error {
@@ -129,7 +165,7 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 						return err
 					}
 					emitted := 0
-					return evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
+					return evalOne(ri, ctx,
 						func(asn *datalog.Assignment) bool {
 							bufs[ri] = append(bufs[ri], asn)
 							emitted++
@@ -154,7 +190,7 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 				}
 				rule := prep.Rules[ri].Rule
 				emitted := 0
-				err := evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ctx,
+				err := evalOne(ri, ctx,
 					func(asn *datalog.Assignment) bool {
 						process(rule, asn)
 						emitted++

@@ -31,6 +31,14 @@ type Options struct {
 	// between its phases. A canceled run returns ctx.Err() promptly
 	// instead of a partial result.
 	Ctx context.Context
+	// Warm, when non-nil, carries incremental-update hints from a
+	// versioned serving layer (see WarmStart): a previous version's result
+	// plus the base changes since. Updates outside the prepared read-set
+	// replay the previous result without deriving anything; insert-only
+	// updates let end semantics continue the previous fixpoint with the
+	// inserted tuples as the initial frontier. Hints never change results
+	// — inapplicable ones simply fall back to a full run.
+	Warm *WarmStart
 }
 
 // evalCheckEvery is how many emitted assignments pass between cancellation
@@ -80,8 +88,14 @@ func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Option
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, nil, err
 	}
+	if res, work, ok := runWarmShortcut(db, prep, sem, opts.Warm); ok {
+		return res, work, nil
+	}
 	switch sem {
 	case SemEnd:
+		if res, work, ok, err := runEndWarm(opts.Ctx, db, prep, opts.Parallelism, opts.Warm); ok || err != nil {
+			return res, work, err
+		}
 		return runEnd(opts.Ctx, db, prep, opts.Parallelism)
 	case SemStage:
 		return runStage(opts.Ctx, db, prep, opts.Parallelism)

@@ -2,6 +2,7 @@ package datalog
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/engine"
@@ -55,14 +56,54 @@ type PreparedRule struct {
 	// naive: delta atoms read the full delta contents (old ∪ frontier) —
 	// the evaluation-strategy ablation.
 	naive *plan
+	// insertPasses[i]: base atom baseIdx[i] reads only a caller-supplied
+	// seed of freshly inserted tuples, other base atoms read the live base,
+	// delta atoms read ∆_i. Warm-start stability probes and incremental
+	// derivations use these: after a base-table update, every genuinely new
+	// assignment must bind at least one inserted tuple (rule bodies are
+	// positive), so the union over these passes covers exactly the new work.
+	insertPasses []*plan
 
 	// deltaIdx holds the body indexes of the rule's delta atoms, in order.
 	deltaIdx []int
+	// baseIdx holds the body indexes of the rule's base atoms, in order.
+	baseIdx []int
+	// reads holds the distinct relation names the rule body references
+	// (base or delta side), in first-use order.
+	reads []string
 }
 
 // NumDeltaBody returns the number of ∆-atoms in the rule body (the number
 // of seminaive passes).
 func (pr *PreparedRule) NumDeltaBody() int { return len(pr.deltaIdx) }
+
+// ReadSet returns the distinct relation names the rule body references
+// (base or delta side), in first-use order. The head relation is always
+// included via the mandatory self atom (Def. 3.1). Callers must not
+// mutate the returned slice.
+func (pr *PreparedRule) ReadSet() []string { return pr.reads }
+
+// Reads reports whether the rule body references the relation (base or
+// delta side).
+func (pr *PreparedRule) Reads(rel string) bool {
+	for _, r := range pr.reads {
+		if r == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadsAny reports whether the rule body references any relation for
+// which changed returns true.
+func (pr *PreparedRule) ReadsAny(changed func(rel string) bool) bool {
+	for _, r := range pr.reads {
+		if changed(r) {
+			return true
+		}
+	}
+	return false
+}
 
 // Prepared is a program compiled for repeated execution: validated rules,
 // static join plans per source shape, declared index requirements, and
@@ -83,6 +124,13 @@ type Prepared struct {
 	reqs          []IndexReq // union of all shapes, deduplicated
 	seminaiveReqs []IndexReq // pass/naive plans: base + scratch targets
 	fromBaseReqs  []IndexReq // fromBase plans: base + delta targets
+
+	// readSet is the union of the rules' read-sets: every relation some
+	// rule body references. A base-table update that touches no read-set
+	// relation cannot change any rule's assignments — serving layers use
+	// this to skip re-derivation entirely after such updates.
+	readSet    map[string]bool
+	readSorted []string
 
 	ctxPool     sync.Pool
 	scratchPool sync.Pool
@@ -121,7 +169,16 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 		for bi, a := range r.Body {
 			if a.Delta {
 				pr.deltaIdx = append(pr.deltaIdx, bi)
+			} else {
+				pr.baseIdx = append(pr.baseIdx, bi)
 			}
+			if !pr.Reads(a.Rel) {
+				pr.reads = append(pr.reads, a.Rel)
+			}
+			if pp.readSet == nil {
+				pp.readSet = make(map[string]bool)
+			}
+			pp.readSet[a.Rel] = true
 		}
 
 		// Static plans per source shape. The greedy planner breaks bound-
@@ -161,6 +218,20 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 				}
 			})
 		}
+		pr.insertPasses = make([]*plan, len(pr.baseIdx))
+		for i := range pr.baseIdx {
+			seedAtom := pr.baseIdx[i]
+			pr.insertPasses[i] = planFor(pr.cr, func(bi int) int {
+				switch {
+				case bi == seedAtom:
+					return 0 // the inserted-tuple seed drives the join
+				case isDelta(bi):
+					return 1
+				default:
+					return 2
+				}
+			})
+		}
 
 		// Collect the index requirements each plan's probes imply, bucketed
 		// by shape so executors warm only what their phase reads.
@@ -193,6 +264,11 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 
 		pp.Rules[i] = pr
 	}
+	pp.readSorted = make([]string, 0, len(pp.readSet))
+	for rel := range pp.readSet {
+		pp.readSorted = append(pp.readSorted, rel)
+	}
+	sort.Strings(pp.readSorted)
 	pp.ctxPool.New = func() any { return NewExecContext() }
 	pp.scratchPool.New = func() any { return pp.newScratch() }
 	return pp, nil
@@ -201,6 +277,27 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 // IndexReqs returns the declared index requirements, deduplicated, in
 // first-use order.
 func (pp *Prepared) IndexReqs() []IndexReq { return pp.reqs }
+
+// ReadSet returns the relations any rule body references (base or delta
+// side), sorted. A base-table update confined to relations outside this
+// set cannot change any rule's assignments — and therefore cannot change
+// any repair — so serving layers reuse the previous version's results
+// verbatim for such updates. Callers must not mutate the returned slice.
+func (pp *Prepared) ReadSet() []string { return pp.readSorted }
+
+// Reads reports whether any rule body references the relation.
+func (pp *Prepared) Reads(rel string) bool { return pp.readSet[rel] }
+
+// ReadsAnyOf reports whether any rule body references any of the given
+// relations.
+func (pp *Prepared) ReadsAnyOf(rels []string) bool {
+	for _, rel := range rels {
+		if pp.readSet[rel] {
+			return true
+		}
+	}
+	return false
+}
 
 // CompatibleWith reports whether databases over the given schema can be
 // executed against these prepared plans: both schemas must declare the
@@ -377,6 +474,44 @@ func (pr *PreparedRule) EvalFromBase(db *engine.Database, includeDeleted bool, c
 		sources = SourcesFor(db, pr.Rule, DeltaFromBase)
 	}
 	return pr.evalWith(pr.fromBase, sources, ctx, emit)
+}
+
+// EvalInsertSeeded enumerates the rule's assignments that use at least one
+// freshly inserted base tuple: for each base atom in turn, that atom reads
+// only the matching seed relation (the tuples a base-table update
+// inserted), the other base atoms read the live base, and delta atoms read
+// ∆_i. Because rule bodies are positive conjunctions, every assignment
+// that did not exist before the insert must bind an inserted tuple at some
+// base atom, so the union over these passes is exactly the new
+// assignments (an assignment using several inserted tuples is emitted once
+// per such atom; dedup if that matters). Atoms whose relation has no seed
+// (or an empty one) are skipped.
+//
+// This is the evaluation primitive behind warm-start stability probes and
+// incremental derivation after updates: probing only the delta between
+// versions instead of re-enumerating every assignment from scratch.
+func (pr *PreparedRule) EvalInsertSeeded(db *engine.Database, seeds map[string]*engine.Relation, ctx *ExecContext, emit func(*Assignment) bool) error {
+	for i, bi := range pr.baseIdx {
+		seed := seeds[pr.Rule.Body[bi].Rel]
+		if seed == nil || seed.Len() == 0 {
+			continue
+		}
+		sources := make([]AtomSource, len(pr.Rule.Body))
+		for j, a := range pr.Rule.Body {
+			switch {
+			case j == bi:
+				sources[j] = AtomSource{seed}
+			case a.Delta:
+				sources[j] = AtomSource{db.Delta(a.Rel)}
+			default:
+				sources[j] = AtomSource{db.Relation(a.Rel)}
+			}
+		}
+		if err := pr.evalWith(pr.insertPasses[i], sources, ctx, emit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EvalPass enumerates assignments for one seminaive pass over

@@ -164,6 +164,118 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
+// TestPreparedReadSet: the program-level and per-rule read-sets name
+// exactly the relations rule bodies reference, so relations outside the
+// read-set are provably irrelevant to every repair.
+func TestPreparedReadSet(t *testing.T) {
+	schema, err := engine.ParseSchema("A(x)\nB(x)\nC(x)\nAudit(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ParseAndValidate(`
+		Delta_A(x) :- A(x), B(x).
+		Delta_B(x) :- B(x), Delta_A(x).
+	`, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Prepare(prog, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pp.ReadSet(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("program read-set %v, want [A B]", got)
+	}
+	if !pp.Reads("A") || !pp.Reads("B") || pp.Reads("C") || pp.Reads("Audit") {
+		t.Fatal("Reads misclassifies relations")
+	}
+	if pp.ReadsAnyOf([]string{"C", "Audit"}) {
+		t.Fatal("ReadsAnyOf claims the program reads untouched relations")
+	}
+	if !pp.ReadsAnyOf([]string{"Audit", "B"}) {
+		t.Fatal("ReadsAnyOf misses a read relation")
+	}
+	r0 := pp.Rules[0]
+	if !r0.Reads("A") || !r0.Reads("B") || r0.Reads("C") {
+		t.Fatalf("rule 0 read-set %v", r0.ReadSet())
+	}
+	if !r0.ReadsAny(func(rel string) bool { return rel == "B" }) {
+		t.Fatal("rule 0 ReadsAny misses B")
+	}
+	// Rule 1's delta atom still contributes A to its read-set: delta
+	// contents are derived from A's base content.
+	if r1 := pp.Rules[1]; !r1.Reads("A") || !r1.Reads("B") {
+		t.Fatalf("rule 1 read-set %v", r1.ReadSet())
+	}
+}
+
+// TestEvalInsertSeeded: the insert-seeded passes enumerate exactly the
+// assignments that appeared because of an insert batch — the set
+// difference between evaluating the updated database and the original —
+// for every rule of the running example.
+func TestEvalInsertSeeded(t *testing.T) {
+	db, p, pp := preparedExample(t)
+	// Mid-repair state: one grant already deleted, so delta joins fire.
+	db.DeleteToDelta(db.Relation("Grant").Keys()[1])
+
+	before := make([][]string, len(p.Rules))
+	for i, r := range p.Rules {
+		var asns []*Assignment
+		if err := EvalRuleOnDB(db, r, func(a *Assignment) bool { asns = append(asns, a); return true }); err != nil {
+			t.Fatal(err)
+		}
+		before[i] = assignmentKeys(asns)
+	}
+
+	// Insert new base tuples wiring author 5 to the deleted grant's world.
+	seeds := map[string]*engine.Relation{
+		"AuthGrant": engine.NewScratchRelation("AuthGrant", 2),
+		"Writes":    engine.NewScratchRelation("Writes", 2),
+	}
+	for _, row := range [][2]int{{2, 2}} {
+		tp := db.MustInsert("AuthGrant", engine.Int(row[0]), engine.Int(row[1]))
+		seeds["AuthGrant"].Insert(tp)
+	}
+	tp := db.MustInsert("Writes", engine.Int(2), engine.Int(6))
+	seeds["Writes"].Insert(tp)
+
+	ctx := pp.AcquireContext()
+	defer pp.ReleaseContext(ctx)
+	for i, r := range p.Rules {
+		var after []*Assignment
+		if err := EvalRuleOnDB(db, r, func(a *Assignment) bool { after = append(after, a); return true }); err != nil {
+			t.Fatal(err)
+		}
+		afterKeys := assignmentKeys(after)
+		// wantNew = after \ before (both sorted string sets).
+		prev := make(map[string]bool, len(before[i]))
+		for _, k := range before[i] {
+			prev[k] = true
+		}
+		var wantNew []string
+		for _, k := range afterKeys {
+			if !prev[k] {
+				wantNew = append(wantNew, k)
+			}
+		}
+		seeded := make(map[string]bool)
+		if err := pp.Rules[i].EvalInsertSeeded(db, seeds, ctx, func(a *Assignment) bool {
+			seeded[a.String()] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(seeded) != len(wantNew) {
+			t.Fatalf("rule %d: insert-seeded found %d assignments, want %d new (%v)", i, len(seeded), len(wantNew), wantNew)
+		}
+		for _, k := range wantNew {
+			if !seeded[k] {
+				t.Fatalf("rule %d: insert-seeded missed new assignment %s", i, k)
+			}
+		}
+	}
+}
+
 // TestScratchPoolRoundTrip: acquired scratch is empty with registered
 // indexes, and reacquiring after release hands back reset relations.
 func TestScratchPoolRoundTrip(t *testing.T) {

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Versioned base-table updates over copy-on-write snapshots.
+//
+// A Snapshot is immutable, but serving systems answer repairs over data
+// that changes between requests. Apply produces the *next* immutable
+// version from a batch of base-table inserts and deletes: it forks the
+// snapshot, applies the batch to the fork's private overlay, and
+// re-freezes — so relations the batch never touches keep sharing their
+// frozen core (storage, warm indexes, intern map) with every earlier
+// version, and the cost of an update is O(touched relations + changes),
+// never O(database). A SnapshotRing strings versions together under a
+// monotonically increasing version counter with a small retention window,
+// so in-flight requests keep reading the version they started on while
+// writers advance the head.
+
+// Row addresses one base tuple by content: a relation name and its values
+// in schema order. Rows are how update batches name insertions and
+// deletions at API boundaries (the engine's internal identity remains the
+// interned TupleID).
+type Row struct {
+	Rel  string
+	Vals []Value
+}
+
+// ApplyInfo reports what an Apply batch actually did.
+type ApplyInfo struct {
+	// Inserted and Deleted count the rows that took effect. Inserting
+	// content that is already live and deleting content that is not are
+	// no-ops, excluded from the counts (set semantics).
+	Inserted, Deleted int
+	// Changed lists the relations the batch modified, sorted. Empty means
+	// the whole batch was a no-op and Apply returned the receiver itself.
+	Changed []string
+	// InsertedTuples holds the interned tuples of the effective inserts,
+	// per relation, in application order. Warm-start layers seed
+	// incremental stability probes and derivations with exactly these.
+	InsertedTuples map[string][]*Tuple
+	// DeletedTuples holds the tuples of the effective deletes, per
+	// relation.
+	DeletedTuples map[string][]*Tuple
+}
+
+// InsertOnly reports whether the batch performed no effective deletions.
+func (ai *ApplyInfo) InsertOnly() bool { return ai.Deleted == 0 }
+
+// DeleteOnly reports whether the batch performed no effective insertions.
+func (ai *ApplyInfo) DeleteOnly() bool { return ai.Inserted == 0 }
+
+// Apply produces the snapshot of the database after deleting the given
+// rows and then inserting the given rows (deletes first, so a batch can
+// replace a row's content). The receiver is untouched — existing forks
+// keep reading it — and the returned snapshot shares the frozen core of
+// every relation the batch did not modify, including its lazily built warm
+// indexes and intern map. Only relations with effective changes are
+// re-frozen (flatten + donate), so update cost scales with the touched
+// relations and the changes, not the database.
+//
+// Deleted rows leave the database entirely: a base-table update is
+// upstream data churn, not a repair, so nothing is recorded in the delta
+// relations. Deleting absent content and inserting present content are
+// no-ops (set semantics), reported via ApplyInfo. A batch with no
+// effective change returns the receiver itself (pointer-equal) with a nil
+// Changed list.
+//
+// Every row is validated against the schema before any work happens; an
+// unknown relation or an arity mismatch fails the whole batch atomically.
+// Apply is safe to call concurrently with Fork and with other Apply calls
+// (each works on its own private fork), though callers that need a linear
+// version history must serialize their writers — see SnapshotRing.
+func (s *Snapshot) Apply(inserts, deletes []Row) (*Snapshot, *ApplyInfo, error) {
+	for _, batch := range [2][]Row{deletes, inserts} {
+		for _, row := range batch {
+			rs := s.schema.Relation(row.Rel)
+			if rs == nil {
+				return nil, nil, fmt.Errorf("engine: update references unknown relation %q", row.Rel)
+			}
+			if len(row.Vals) != rs.Arity() {
+				return nil, nil, fmt.Errorf("engine: update row for %s has %d values, schema arity is %d",
+					row.Rel, len(row.Vals), rs.Arity())
+			}
+		}
+	}
+
+	work := s.Fork()
+	info := &ApplyInfo{
+		InsertedTuples: make(map[string][]*Tuple),
+		DeletedTuples:  make(map[string][]*Tuple),
+	}
+	changed := make(map[string]bool)
+	for _, row := range deletes {
+		r := work.Relation(row.Rel)
+		t := r.Get(ContentKey(row.Rel, row.Vals))
+		if t == nil {
+			continue // absent content: no-op
+		}
+		r.DeleteTuple(t)
+		info.Deleted++
+		info.DeletedTuples[row.Rel] = append(info.DeletedTuples[row.Rel], t)
+		changed[row.Rel] = true
+	}
+	for _, row := range inserts {
+		r := work.Relation(row.Rel)
+		before := r.Len()
+		t, err := work.Insert(row.Rel, row.Vals...)
+		if err != nil {
+			return nil, nil, err // unreachable after validation; defensive
+		}
+		if r.Len() == before {
+			continue // content already live: no-op
+		}
+		info.Inserted++
+		info.InsertedTuples[row.Rel] = append(info.InsertedTuples[row.Rel], t)
+		changed[row.Rel] = true
+	}
+	if len(changed) == 0 {
+		// Freeze on the pristine fork would hand back s anyway; short-circuit
+		// so no-op batches are visibly free.
+		return s, info, nil
+	}
+	info.Changed = make([]string, 0, len(changed))
+	for rel := range changed {
+		info.Changed = append(info.Changed, rel)
+	}
+	sort.Strings(info.Changed)
+	return work.Freeze(), info, nil
+}
+
+// SnapshotRing is a bounded history of snapshot versions: a monotonically
+// increasing version counter with the most recent capacity versions
+// retained. Writers Advance the head; readers resolve a pinned version
+// with At (read-your-writes) or take the newest with Head. Versions that
+// fall out of the ring are only dropped from the *ring* — forks already
+// minted from them stay fully usable, because forks hold their own
+// references to the frozen cores.
+//
+// A SnapshotRing is safe for concurrent use. Advance calls are serialized
+// internally, but callers that derive the next snapshot from the current
+// head (the Apply-then-Advance pattern) must hold their own write lock
+// around the whole read-modify-advance sequence to keep history linear.
+type SnapshotRing struct {
+	mu    sync.RWMutex
+	slots []*Snapshot
+	head  uint64 // newest version; versions start at 1
+	n     int    // number of retained versions, ≤ len(slots)
+}
+
+// DefaultRetainedVersions is the ring capacity used when NewSnapshotRing
+// is given a non-positive one.
+const DefaultRetainedVersions = 4
+
+// NewSnapshotRing starts a version history at version 1 = base. A
+// capacity ≤ 0 means DefaultRetainedVersions; capacity 1 retains only the
+// head (every update immediately unpins all older versions).
+func NewSnapshotRing(base *Snapshot, capacity int) *SnapshotRing {
+	if capacity <= 0 {
+		capacity = DefaultRetainedVersions
+	}
+	r := &SnapshotRing{slots: make([]*Snapshot, capacity), head: 1, n: 1}
+	r.slots[1%uint64(capacity)] = base
+	return r
+}
+
+// Head returns the newest snapshot and its version.
+func (r *SnapshotRing) Head() (*Snapshot, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.slots[r.head%uint64(len(r.slots))], r.head
+}
+
+// HeadVersion returns the newest version number.
+func (r *SnapshotRing) HeadVersion() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.head
+}
+
+// Oldest returns the oldest retained version number.
+func (r *SnapshotRing) Oldest() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.head - uint64(r.n) + 1
+}
+
+// Retained returns the number of retained versions.
+func (r *SnapshotRing) Retained() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// At resolves a pinned version. ok is false when the version has been
+// evicted from the ring (too old) or has not been minted yet (ahead of
+// the head); the two cases are distinguishable by comparing against Head.
+func (r *SnapshotRing) At(version uint64) (*Snapshot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if version > r.head || version+uint64(r.n) <= r.head {
+		return nil, false
+	}
+	return r.slots[version%uint64(len(r.slots))], true
+}
+
+// Advance installs next as the new head and returns its version number.
+// The oldest retained version is evicted once the ring is full. Advancing
+// with the current head snapshot (a no-op update) still mints a fresh
+// version number, keeping "one update = one version" bookkeeping simple
+// for callers.
+func (r *SnapshotRing) Advance(next *Snapshot) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.head++
+	r.slots[r.head%uint64(len(r.slots))] = next
+	if r.n < len(r.slots) {
+		r.n++
+	}
+	return r.head
+}

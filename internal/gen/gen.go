@@ -63,6 +63,10 @@ type Scenario struct {
 	// seeds; ProgramSource re-parses to Program).
 	SchemaSource  string
 	ProgramSource string
+
+	// kinds records each relation's per-column value kinds (schema
+	// order), letting update streams draw type-consistent rows.
+	kinds [][]kind
 }
 
 // Generate builds the scenario for a seed with DefaultConfig. It panics
@@ -116,6 +120,10 @@ func GenerateWith(seed int64, cfg Config) (*Scenario, error) {
 		return nil, fmt.Errorf("generated program invalid: %w\n%s", err, sc.ProgramSource)
 	}
 	sc.DB = g.database(sc.Schema)
+	sc.kinds = make([][]kind, len(g.rels))
+	for i, r := range g.rels {
+		sc.kinds[i] = r.kinds
+	}
 	return sc, nil
 }
 

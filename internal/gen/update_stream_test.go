@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// The update-stream equivalence suite: for every generated scenario, a
+// random stream of base-table update batches is applied to a mutable
+// server session, and at every version — for all four semantics — the
+// incremental result must be identical to registering a fresh session
+// with that version's contents and recomputing from scratch. This is the
+// oracle that licenses every warm-start shortcut in core and server
+// (read-set pruning, cached-result replay, end-semantics fixpoint
+// continuation, insert-seeded stability probes): whatever path a request
+// takes, the answer must be indistinguishable from a cold computation.
+//
+// Results are compared as sorted content-key sets: the incremental and
+// fresh lineages assign different tuple identities and insertion
+// sequences, so Seq-ordered output differs while the repair itself must
+// not.
+
+// quickStreams is the fixed-seed CI budget, mirroring quickScenarios:
+// same seeds every run, failures reproduce from the seed alone. CI runs
+// this under -race.
+const quickStreams = 500
+
+// streamOps is the number of update batches per stream in quick mode:
+// initial state + 3 versions exercises version chains, retention, and
+// every warm-start path without blowing up CI time.
+const streamOps = 3
+
+func sortedResultKeys(res *core.Result) string {
+	keys := res.Keys()
+	sort.Strings(keys)
+	return fmt.Sprintf("%v", keys)
+}
+
+// checkUpdateStream drives one scenario's update stream through a
+// mutable session and cross-checks every version against from-scratch
+// recomputation.
+func checkUpdateStream(t *testing.T, us *UpdateStream) {
+	t.Helper()
+	sc := us.Scenario
+	ctx := context.Background()
+
+	prep, err := datalog.Prepare(sc.Program, sc.Schema)
+	if err != nil {
+		t.Fatalf("seed %d: prepare: %v", sc.Seed, err)
+	}
+
+	// Retain every version so the pinned re-checks at the end can still
+	// resolve the whole history.
+	svc := server.New(server.Config{MaxVersions: us.NumVersions() + 1})
+	if err := svc.Register("s", sc.Schema, sc.DB, sc.Program); err != nil {
+		t.Fatalf("seed %d: register: %v", sc.Seed, err)
+	}
+
+	freshDB := func(n int) *engine.Database {
+		db := engine.NewDatabase(sc.Schema)
+		for _, row := range us.BaseRowsAfter(n) {
+			db.MustInsert(row.Rel, row.Vals...)
+		}
+		return db
+	}
+
+	// expected[version][sem] records the scratch answer for the pinned
+	// re-checks after the whole stream has been applied.
+	expected := make(map[uint64]map[core.Semantics]string)
+
+	checkVersion := func(n int, version uint64) {
+		t.Helper()
+		fresh := freshDB(n)
+		// The session's logical contents must match the model exactly.
+		info := svc.Sessions()[0]
+		if info.Warmed && info.Version == version && info.Tuples != fresh.TotalTuples() {
+			t.Fatalf("seed %d v%d: session holds %d tuples, model %d", sc.Seed, version, info.Tuples, fresh.TotalTuples())
+		}
+		expected[version] = make(map[core.Semantics]string)
+		for _, sem := range core.AllSemantics {
+			want, _, err := core.RunWith(fresh.Fork(), sc.Program, sem, core.Options{Prepared: prep})
+			if err != nil {
+				t.Fatalf("seed %d v%d: scratch %s: %v", sc.Seed, version, sem, err)
+			}
+			wantKeys := sortedResultKeys(want)
+			expected[version][sem] = wantKeys
+
+			// First incremental request at this version: exercises the
+			// cross-version warm-start paths (read-set pruning, end
+			// continuation) or a cold run.
+			got, _, gotVer, err := svc.RepairVersioned(ctx, "s", sem, server.RequestOptions{Version: version})
+			if err != nil {
+				t.Fatalf("seed %d v%d: incremental %s: %v", sc.Seed, version, sem, err)
+			}
+			if gotVer != version {
+				t.Fatalf("seed %d v%d: repair executed at version %d", sc.Seed, version, gotVer)
+			}
+			if gotKeys := sortedResultKeys(got); gotKeys != wantKeys {
+				t.Fatalf("seed %d v%d: %s incremental %s != scratch %s\nprogram:\n%s",
+					sc.Seed, version, sem, gotKeys, wantKeys, sc.ProgramSource)
+			}
+			// Second request at the same version: the cached-result replay
+			// path must reproduce the identical answer.
+			again, _, _, err := svc.RepairVersioned(ctx, "s", sem, server.RequestOptions{Version: version})
+			if err != nil {
+				t.Fatalf("seed %d v%d: replay %s: %v", sc.Seed, version, sem, err)
+			}
+			if sortedResultKeys(again) != wantKeys {
+				t.Fatalf("seed %d v%d: %s replay diverged", sc.Seed, version, sem)
+			}
+		}
+
+		// Stability must agree with the scratch instance; repeated probes
+		// exercise the insert-seeded warm path once a version is stable.
+		wantStable, err := core.CheckStableP(fresh.Fork(), prep)
+		if err != nil {
+			t.Fatalf("seed %d v%d: scratch stability: %v", sc.Seed, version, err)
+		}
+		gotStable, _, err := svc.IsStableVersioned(ctx, "s", server.RequestOptions{Version: version})
+		if err != nil {
+			t.Fatalf("seed %d v%d: incremental stability: %v", sc.Seed, version, err)
+		}
+		if gotStable != wantStable {
+			t.Fatalf("seed %d v%d: incremental stability %v, scratch %v\nprogram:\n%s",
+				sc.Seed, version, gotStable, wantStable, sc.ProgramSource)
+		}
+	}
+
+	checkVersion(0, 1)
+	version := uint64(1)
+	for i, op := range us.Ops {
+		res, err := svc.Update(ctx, "s", op.Inserts, op.Deletes, server.RequestOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: update %d: %v", sc.Seed, i, err)
+		}
+		if res.Version != version+1 {
+			t.Fatalf("seed %d: update %d minted version %d, want %d", sc.Seed, i, res.Version, version+1)
+		}
+		version = res.Version
+		checkVersion(i+1, version)
+	}
+
+	// Pinned re-checks: after the whole stream, every retained version
+	// must still answer exactly as it did when it was the head —
+	// read-your-writes across the full history.
+	for n := 0; n < us.NumVersions(); n++ {
+		v := uint64(n + 1)
+		for _, sem := range core.AllSemantics {
+			res, _, _, err := svc.RepairVersioned(ctx, "s", sem, server.RequestOptions{Version: v})
+			if err != nil {
+				t.Fatalf("seed %d: pinned v%d %s: %v", sc.Seed, v, sem, err)
+			}
+			if got := sortedResultKeys(res); got != expected[v][sem] {
+				t.Fatalf("seed %d: pinned v%d %s drifted: %s != %s", sc.Seed, v, sem, got, expected[v][sem])
+			}
+		}
+	}
+}
+
+// TestUpdateStreamEquivalenceQuick is the fixed-seed CI mode: 500
+// streams, each an independent parallel subtest naming its seed.
+func TestUpdateStreamEquivalenceQuick(t *testing.T) {
+	for seed := int64(1); seed <= quickStreams; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkUpdateStream(t, GenerateUpdateStream(seed, streamOps))
+		})
+	}
+}
+
+// updateSoakBase mirrors soakBase for the update-stream suite: each
+// -count run claims a fresh block of seeds.
+var updateSoakBase atomic.Int64
+
+// TestUpdateStreamEquivalenceSoak scales beyond CI, with longer streams:
+//
+//	GEN_SOAK=2000 go test -race -run UpdateStreamEquivalenceSoak -count=4 ./internal/gen
+func TestUpdateStreamEquivalenceSoak(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("GEN_SOAK"))
+	if n <= 0 {
+		t.Skip("set GEN_SOAK=<streams> to run the soak suite")
+	}
+	base := updateSoakBase.Add(int64(n)) - int64(n)
+	// Distinct offset from both the quick block and the invariants soak.
+	const soakOffset = 1 << 21
+	for i := 0; i < n; i++ {
+		seed := soakOffset + base + int64(i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkUpdateStream(t, GenerateUpdateStream(seed, 2*streamOps))
+		})
+	}
+}
+
+// TestUpdateStreamDeterminism: the same seed yields the same stream and
+// the same per-version states.
+func TestUpdateStreamDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := GenerateUpdateStream(seed, streamOps)
+		b := GenerateUpdateStream(seed, streamOps)
+		if fmt.Sprintf("%v", a.Ops) != fmt.Sprintf("%v", b.Ops) {
+			t.Fatalf("seed %d: op stream nondeterministic", seed)
+		}
+		for n := 0; n < a.NumVersions(); n++ {
+			if fmt.Sprintf("%v", a.BaseRowsAfter(n)) != fmt.Sprintf("%v", b.BaseRowsAfter(n)) {
+				t.Fatalf("seed %d: state %d nondeterministic", seed, n)
+			}
+		}
+	}
+}
+
+// TestUpdateStreamCoverage: the seed space must exercise the shapes the
+// warm-start machinery branches on — insert-only ops, ops with deletes,
+// ops whose batch lands outside the program's read-set, and streams
+// whose instances actually need repair.
+func TestUpdateStreamCoverage(t *testing.T) {
+	insertOnly, withDeletes, outsideReadSet, repairs := 0, 0, 0, 0
+	for seed := int64(1); seed <= 200; seed++ {
+		us := GenerateUpdateStream(seed, streamOps)
+		prep, err := datalog.Prepare(us.Scenario.Program, us.Scenario.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range us.Ops {
+			if len(op.Deletes) == 0 && len(op.Inserts) > 0 {
+				insertOnly++
+			}
+			if len(op.Deletes) > 0 {
+				withDeletes++
+			}
+			touched := false
+			for _, row := range append(append([]engine.Row{}, op.Inserts...), op.Deletes...) {
+				if prep.Reads(row.Rel) {
+					touched = true
+				}
+			}
+			if !touched && len(op.Inserts)+len(op.Deletes) > 0 {
+				outsideReadSet++
+			}
+		}
+		if stable, _ := core.CheckStableP(us.Scenario.DB.Fork(), prep); !stable {
+			repairs++
+		}
+	}
+	if insertOnly < 50 || withDeletes < 100 {
+		t.Errorf("op shape coverage: %d insert-only, %d with deletes", insertOnly, withDeletes)
+	}
+	if outsideReadSet < 10 {
+		t.Errorf("only %d ops land outside the read-set", outsideReadSet)
+	}
+	if repairs < 50 {
+		t.Errorf("only %d/200 streams start unstable", repairs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -22,10 +23,18 @@ import (
 //	GET    /v1/sessions                            list cached sessions
 //	POST   /v1/sessions                            register a session
 //	DELETE /v1/sessions/{name}                     evict a session
+//	POST   /v1/sessions/{name}/update              insert/delete base tuples → new version
 //	POST   /v1/sessions/{name}/repair              run one semantics
 //	POST   /v1/sessions/{name}/repair-all          run all four + containments
 //	POST   /v1/sessions/{name}/is-stable           stability probe
 //	POST   /v1/sessions/{name}/delete-view-tuple   deletion propagation (§7)
+//
+// Sessions are mutable: update applies a base-table batch and returns the
+// new monotonically increasing version. Request bodies may pin "version"
+// (read-your-writes) to any retained version; responses echo the version
+// they executed against. Status codes: 400 malformed input / future
+// version, 404 unknown session, 409 duplicate register / schema-mismatch
+// update / evicted version, 499 client canceled, 504 deadline exceeded.
 
 // RegisterRequest is the POST /v1/sessions body.
 type RegisterRequest struct {
@@ -55,12 +64,16 @@ type RepairRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// SolverMaxNodes overrides the SAT budget (independent semantics).
 	SolverMaxNodes int64 `json:"solver_max_nodes,omitempty"`
+	// Version pins the request to a retained snapshot version
+	// (read-your-writes); 0 reads the head.
+	Version uint64 `json:"version,omitempty"`
 }
 
 func (rr *RepairRequest) options() RequestOptions {
 	opts := RequestOptions{
 		Parallelism:    rr.Parallelism,
 		SolverMaxNodes: rr.SolverMaxNodes,
+		Version:        rr.Version,
 	}
 	switch {
 	case rr.TimeoutMS > 0:
@@ -73,7 +86,10 @@ func (rr *RepairRequest) options() RequestOptions {
 
 // RepairResponse reports one semantics' repair.
 type RepairResponse struct {
-	Session   string         `json:"session"`
+	Session string `json:"session"`
+	// Version is the snapshot version the repair executed against (the
+	// head at admission, or the pinned request version).
+	Version   uint64         `json:"version"`
 	Semantics string         `json:"semantics"`
 	Size      int            `json:"size"`
 	Deleted   []string       `json:"deleted"`
@@ -83,9 +99,10 @@ type RepairResponse struct {
 	ElapsedUS int64          `json:"elapsed_us"`
 }
 
-func repairResponse(name string, res *core.Result) RepairResponse {
+func repairResponse(name string, version uint64, res *core.Result) RepairResponse {
 	return RepairResponse{
 		Session:   name,
+		Version:   version,
 		Semantics: res.Semantics.String(),
 		Size:      res.Size(),
 		Deleted:   res.Keys(),
@@ -100,8 +117,18 @@ func repairResponse(name string, res *core.Result) RepairResponse {
 // containment flags.
 type RepairAllResponse struct {
 	Session     string                    `json:"session"`
+	Version     uint64                    `json:"version"`
 	Results     map[string]RepairResponse `json:"results"`
 	Containment core.Containment          `json:"containment"`
+}
+
+// UpdateRequest is the POST /v1/sessions/{name}/update body: base-table
+// rows to delete and insert (deletes apply first, so one batch can
+// replace a row). Values follow the RegisterRequest conventions.
+type UpdateRequest struct {
+	Inserts   map[string][][]any `json:"inserts,omitempty"`
+	Deletes   map[string][][]any `json:"deletes,omitempty"`
+	TimeoutMS int64              `json:"timeout_ms,omitempty"`
 }
 
 // ViewDeleteRequest is the delete-view-tuple body.
@@ -109,9 +136,10 @@ type ViewDeleteRequest struct {
 	// View is a conjunctive query, e.g. "V(x, y) :- R(x, z), S(z, y).".
 	View string `json:"view"`
 	// Values selects the view row to remove.
-	Values         []any `json:"values"`
-	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
-	SolverMaxNodes int64 `json:"solver_max_nodes,omitempty"`
+	Values         []any  `json:"values"`
+	TimeoutMS      int64  `json:"timeout_ms,omitempty"`
+	SolverMaxNodes int64  `json:"solver_max_nodes,omitempty"`
+	Version        uint64 `json:"version,omitempty"`
 }
 
 // ViewDeleteResponse reports a deletion-propagation solution.
@@ -132,6 +160,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeregister)
+	mux.HandleFunc("POST /v1/sessions/{name}/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/sessions/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/sessions/{name}/repair-all", s.handleRepairAll)
 	mux.HandleFunc("POST /v1/sessions/{name}/is-stable", s.handleIsStable)
@@ -154,7 +183,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrDuplicate):
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrSchemaMismatch), errors.Is(err, ErrVersionGone):
 		status = http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
@@ -320,6 +349,65 @@ func semFromString(s string) (core.Semantics, error) {
 	}
 }
 
+// updateRows converts an UpdateRequest tuple map into engine rows, in
+// schema declaration order then row order, so batch application order —
+// and therefore tuple identity assignment — is deterministic for a given
+// request body.
+func (s *Service) updateRows(schema map[string][][]any) ([]engine.Row, error) {
+	if len(schema) == 0 {
+		return nil, nil
+	}
+	rels := make([]string, 0, len(schema))
+	for rel := range schema {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	var out []engine.Row
+	for _, rel := range rels {
+		for ri, row := range schema[rel] {
+			vals, err := jsonValues(row)
+			if err != nil {
+				return nil, fmt.Errorf("relation %s row %d: %w", rel, ri, err)
+			}
+			out = append(out, engine.Row{Rel: rel, Vals: vals})
+		}
+	}
+	return out, nil
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req UpdateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	inserts, err := s.updateRows(req.Inserts)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	deletes, err := s.updateRows(req.Deletes)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	opts := (&RepairRequest{TimeoutMS: req.TimeoutMS}).options()
+	res, err := s.Update(r.Context(), name, inserts, deletes, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":           name,
+		"version":           res.Version,
+		"oldest_version":    res.OldestVersion,
+		"inserted":          res.Inserted,
+		"deleted":           res.Deleted,
+		"changed_relations": res.Changed,
+	})
+}
+
 func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req RepairRequest
@@ -332,12 +420,12 @@ func (s *Service) handleRepair(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	res, _, err := s.Repair(r.Context(), name, sem, req.options())
+	res, _, version, err := s.RepairVersioned(r.Context(), name, sem, req.options())
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, repairResponse(name, res))
+	writeJSON(w, http.StatusOK, repairResponse(name, version, res))
 }
 
 func (s *Service) handleRepairAll(w http.ResponseWriter, r *http.Request) {
@@ -347,18 +435,19 @@ func (s *Service) handleRepairAll(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	results, err := s.RepairAll(r.Context(), name, req.options())
+	results, version, err := s.RepairAllVersioned(r.Context(), name, req.options())
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	resp := RepairAllResponse{
 		Session:     name,
+		Version:     version,
 		Results:     make(map[string]RepairResponse, len(results)),
 		Containment: core.CheckContainment(results),
 	}
 	for sem, res := range results {
-		resp.Results[sem.String()] = repairResponse(name, res)
+		resp.Results[sem.String()] = repairResponse(name, version, res)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -370,12 +459,12 @@ func (s *Service) handleIsStable(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	stable, err := s.IsStable(r.Context(), name, req.options())
+	stable, version, err := s.IsStableVersioned(r.Context(), name, req.options())
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"session": name, "stable": stable})
+	writeJSON(w, http.StatusOK, map[string]any{"session": name, "version": version, "stable": stable})
 }
 
 func (s *Service) handleDeleteViewTuple(w http.ResponseWriter, r *http.Request) {
@@ -394,7 +483,7 @@ func (s *Service) handleDeleteViewTuple(w http.ResponseWriter, r *http.Request) 
 		writeBadRequest(w, err)
 		return
 	}
-	opts := (&RepairRequest{TimeoutMS: req.TimeoutMS, SolverMaxNodes: req.SolverMaxNodes}).options()
+	opts := (&RepairRequest{TimeoutMS: req.TimeoutMS, SolverMaxNodes: req.SolverMaxNodes, Version: req.Version}).options()
 	res, err := s.DeleteViewTuple(r.Context(), name, req.View, target, opts)
 	if err != nil {
 		writeErr(w, err)

@@ -48,6 +48,14 @@ var (
 	// ErrBadRequest wraps client-side input errors (e.g. a malformed view
 	// source) so the HTTP layer maps them to 400 rather than 500.
 	ErrBadRequest = errors.New("server: bad request")
+	// ErrSchemaMismatch reports an update batch that does not fit the
+	// session's schema (unknown relation or wrong arity): the client's
+	// view of the session conflicts with its actual shape (409).
+	ErrSchemaMismatch = errors.New("server: update does not match session schema")
+	// ErrVersionGone reports a request pinned to a version that has been
+	// evicted from the session's retained-version ring (409): the client
+	// must retry against a newer version.
+	ErrVersionGone = errors.New("server: pinned version no longer retained")
 )
 
 // Default configuration values.
@@ -76,6 +84,12 @@ type Config struct {
 	// SolverMaxNodes is the default Min-Ones-SAT budget for independent
 	// semantics and view-tuple deletion. 0 means the solver default.
 	SolverMaxNodes int64
+	// MaxVersions is the per-session retained-version window: how many
+	// snapshot versions (head included) stay resolvable for pinned reads
+	// after base-table updates. 0 means engine.DefaultRetainedVersions.
+	// In-flight requests on older versions always complete — eviction only
+	// limits *new* pinned reads.
+	MaxVersions int
 }
 
 // Service is a concurrent repair service over a cache of named sessions.
@@ -112,24 +126,64 @@ func New(cfg Config) *Service {
 // lazily warmed execution state. Sessions are owned by the Service;
 // callers interact through Service methods.
 type Session struct {
-	name   string
-	schema *engine.Schema
-	db     *engine.Database
-	prog   *datalog.Program
-	tuples int // live tuple count at Register time (db may be mid-freeze later)
+	name        string
+	schema      *engine.Schema
+	db          *engine.Database
+	prog        *datalog.Program
+	tuples      int // live tuple count at Register time (db may be mid-freeze later)
+	maxVersions int
 
 	// Single-flight warming: the first request (or Warm call) compiles
 	// the program and freezes the database exactly once; concurrent
 	// callers block on the Once and then share the results. warmDone is
 	// set (release-store) after a successful warm so stats readers can
-	// peek at snap without blocking on a warm in flight.
+	// peek at snap/ring without blocking on a warm in flight.
 	warmOnce sync.Once
 	prep     *datalog.Prepared
-	snap     *engine.Snapshot
+	snap     *engine.Snapshot // version 1 (registration state)
 	warmErr  error
 	warmDone atomic.Bool
 
+	// Mutable-session state. The ring holds the retained snapshot
+	// versions (readers go through its own lock); verMu serializes
+	// writers and guards vers, the per-version update metadata that
+	// warm-start hints are assembled from. cacheMu guards the
+	// latest-result cache and the stability knowledge.
+	verMu sync.Mutex
+	ring  *engine.SnapshotRing
+	vers  map[uint64]*versionMeta
+
+	cacheMu sync.Mutex
+	results map[core.Semantics]*cachedResult
+	stable  *stableState
+
 	requests atomic.Int64
+	updates  atomic.Int64
+}
+
+// versionMeta describes the update batch that produced one version:
+// everything warm-start hints need to relate it to its predecessor.
+type versionMeta struct {
+	changed    []string
+	inserted   map[string][]*engine.Tuple
+	insertOnly bool
+}
+
+// cachedResult is the most recent repair result for one semantics, with
+// the version it was computed at and the effective solver budget it ran
+// under (results of independent semantics depend on the budget: a
+// truncated search can return a non-minimal repair, which must never be
+// replayed for a request that asked for a different budget).
+type cachedResult struct {
+	version     uint64
+	solverNodes int64
+	res         *core.Result
+}
+
+// stableState is the most recent stability verdict and its version.
+type stableState struct {
+	version uint64
+	stable  bool
 }
 
 func (sess *Session) warm() error {
@@ -141,9 +195,126 @@ func (sess *Session) warm() error {
 		}
 		sess.prep = prep
 		sess.snap = sess.db.Freeze()
+		sess.ring = engine.NewSnapshotRing(sess.snap, sess.maxVersions)
+		sess.vers = map[uint64]*versionMeta{1: {}}
+		sess.results = make(map[core.Semantics]*cachedResult)
 		sess.warmDone.Store(true)
 	})
 	return sess.warmErr
+}
+
+// resolve maps a pinned version (0 = head) to its retained snapshot.
+func (sess *Session) resolve(version uint64) (*engine.Snapshot, uint64, error) {
+	if version == 0 {
+		snap, head := sess.ring.Head()
+		return snap, head, nil
+	}
+	if snap, ok := sess.ring.At(version); ok {
+		return snap, version, nil
+	}
+	head := sess.ring.HeadVersion()
+	if version > head {
+		return nil, 0, fmt.Errorf("%w: session %q version %d not yet minted (head is %d)",
+			ErrBadRequest, sess.name, version, head)
+	}
+	return nil, 0, fmt.Errorf("%w: session %q version %d (retained %d..%d)",
+		ErrVersionGone, sess.name, version, sess.ring.Oldest(), head)
+}
+
+// repairHints assembles incremental-execution hints for a repair at the
+// given version: the latest cached result for the semantics (if computed
+// at the same or an earlier retained version, under the same effective
+// solver budget where the budget matters) plus the union of the base
+// changes between that version and this one. Returns nil when no exact
+// hints exist — the request then runs from scratch.
+func (sess *Session) repairHints(sem core.Semantics, version uint64, solverNodes int64) *core.WarmStart {
+	sess.cacheMu.Lock()
+	cached := sess.results[sem]
+	sess.cacheMu.Unlock()
+	if cached == nil || cached.version > version {
+		return nil
+	}
+	// Only independent semantics consults the SAT budget; for the others
+	// results are budget-independent and any cached entry qualifies.
+	if sem == core.SemIndependent && cached.solverNodes != solverNodes {
+		return nil
+	}
+	w, ok := sess.changesSince(cached.version, version)
+	if !ok {
+		return nil
+	}
+	w.PrevResult = cached.res
+	return w
+}
+
+// stableHints assembles incremental hints for a stability probe at the
+// given version: usable only when an earlier retained version was
+// verified *stable* (an unstable predecessor says nothing — deletions may
+// have removed the violations since).
+func (sess *Session) stableHints(version uint64) *core.WarmStart {
+	sess.cacheMu.Lock()
+	st := sess.stable
+	sess.cacheMu.Unlock()
+	if st == nil || !st.stable || st.version > version {
+		return nil
+	}
+	w, ok := sess.changesSince(st.version, version)
+	if !ok {
+		return nil
+	}
+	w.PrevStable = true
+	return w
+}
+
+// changesSince folds the retained version metadata in (from, to] into a
+// WarmStart's change fields. ok is false when any version in the range
+// has been pruned from the ring, in which case no exact hints exist.
+func (sess *Session) changesSince(from, to uint64) (*core.WarmStart, bool) {
+	sess.verMu.Lock()
+	defer sess.verMu.Unlock()
+	w := &core.WarmStart{InsertOnly: true}
+	changedSet := make(map[string]bool)
+	for v := from + 1; v <= to; v++ {
+		meta := sess.vers[v]
+		if meta == nil {
+			return nil, false
+		}
+		for _, rel := range meta.changed {
+			if !changedSet[rel] {
+				changedSet[rel] = true
+				w.ChangedRels = append(w.ChangedRels, rel)
+			}
+		}
+		if !meta.insertOnly {
+			w.InsertOnly = false
+		}
+		for rel, tuples := range meta.inserted {
+			if w.Inserted == nil {
+				w.Inserted = make(map[string][]*engine.Tuple)
+			}
+			w.Inserted[rel] = append(w.Inserted[rel], tuples...)
+		}
+	}
+	return w, true
+}
+
+// storeResult caches a computed result for warm-starting later requests;
+// the cache only moves forward in version order.
+func (sess *Session) storeResult(sem core.Semantics, version uint64, solverNodes int64, res *core.Result) {
+	sess.cacheMu.Lock()
+	defer sess.cacheMu.Unlock()
+	if cur := sess.results[sem]; cur == nil || version >= cur.version {
+		sess.results[sem] = &cachedResult{version: version, solverNodes: solverNodes, res: res}
+	}
+}
+
+// storeStable records a stability verdict; forward-only like storeResult.
+func (sess *Session) storeStable(version uint64, stable bool) {
+	sess.cacheMu.Lock()
+	defer sess.cacheMu.Unlock()
+	if sess.stable == nil || version >= sess.stable.version {
+		sess.stable = &stableState{version: version, stable: stable}
+	}
 }
 
 // Register adds a named session. The Service takes ownership of db: the
@@ -162,7 +333,11 @@ func (s *Service) Register(name string, schema *engine.Schema, db *engine.Databa
 	if db.Schema != schema {
 		return fmt.Errorf("server: session %q database built over a different schema", name)
 	}
-	sess := &Session{name: name, schema: schema, db: db, prog: prog, tuples: db.TotalTuples()}
+	sess := &Session{
+		name: name, schema: schema, db: db, prog: prog,
+		tuples:      db.TotalTuples(),
+		maxVersions: s.cfg.MaxVersions,
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.byName[name]; ok {
@@ -222,12 +397,24 @@ type SessionInfo struct {
 	Tuples    int    `json:"tuples"`
 	Recursive bool   `json:"recursive"`
 	Warmed    bool   `json:"warmed"`
-	// Requests counts repair/is-stable/view-deletion calls served.
+	// Requests counts repair/is-stable/view-deletion/update calls served.
 	Requests int64 `json:"requests"`
-	// Forks counts working copies minted from the shared snapshot — the
-	// engine's concurrent fork accounting; ≥ Requests once warmed because
-	// the executors fork internally too.
+	// Forks counts working copies minted from the session's snapshot
+	// versions — the engine's concurrent fork accounting; ≥ Requests once
+	// warmed because the executors fork internally too.
 	Forks int64 `json:"forks"`
+	// Version is the head (newest) snapshot version; versions start at 1
+	// (the registration state) and advance by one per update. 0 until
+	// warmed.
+	Version uint64 `json:"version,omitempty"`
+	// OldestVersion is the oldest version still resolvable for pinned
+	// reads; older pinned requests get 409.
+	OldestVersion uint64 `json:"oldest_version,omitempty"`
+	// RetainedVersions is the number of live versions in the ring
+	// (Version - OldestVersion + 1).
+	RetainedVersions int `json:"retained_versions,omitempty"`
+	// Updates counts base-table update batches applied.
+	Updates int64 `json:"updates,omitempty"`
 }
 
 // Sessions lists cached sessions, most recently used first.
@@ -244,12 +431,24 @@ func (s *Service) Sessions() []SessionInfo {
 			Recursive: sess.prog.Recursive,
 			Requests:  sess.requests.Load(),
 		}
-		// snap is published by warmDone's release-store; an acquire-load
-		// here means stats never block on (or race with) a warm in flight.
+		// snap/ring are published by warmDone's release-store; an
+		// acquire-load here means stats never block on (or race with) a
+		// warm in flight.
 		if sess.warmDone.Load() {
 			info.Warmed = true
-			info.Tuples = sess.snap.TotalTuples()
-			info.Forks = sess.snap.Forks()
+			head, version := sess.ring.Head()
+			info.Tuples = head.TotalTuples()
+			info.Version = version
+			info.OldestVersion = sess.ring.Oldest()
+			info.RetainedVersions = sess.ring.Retained()
+			info.Updates = sess.updates.Load()
+			// Fork accounting spans every retained version, so the stat
+			// keeps counting requests that read pinned older versions.
+			for v := info.OldestVersion; v <= version; v++ {
+				if s, ok := sess.ring.At(v); ok {
+					info.Forks += s.Forks()
+				}
+			}
 		} else {
 			info.Tuples = sess.tuples
 		}
@@ -281,6 +480,12 @@ type RequestOptions struct {
 	Parallelism int
 	// SolverMaxNodes overrides Config.SolverMaxNodes (> 0).
 	SolverMaxNodes int64
+	// Version pins the request to a specific snapshot version
+	// (read-your-writes: pin the version an earlier Update returned).
+	// 0 reads the head. Pinning a version evicted from the retention ring
+	// fails with ErrVersionGone; pinning ahead of the head with
+	// ErrBadRequest.
+	Version uint64
 }
 
 // acquire takes an admission token, honoring ctx while queued.
@@ -361,46 +566,168 @@ func (s *Service) begin(ctx context.Context, name string, opts RequestOptions) (
 }
 
 // Repair computes the stabilizing set for the named session under the
-// chosen semantics on a private fork of the shared snapshot. It returns
-// the result and the repaired fork (safe to read; discarding it is free).
+// chosen semantics on a private fork of the session's snapshot (the head
+// version, or the version pinned in opts). It returns the result and the
+// repaired fork (safe to read; discarding it is free).
 func (s *Service) Repair(ctx context.Context, name string, sem core.Semantics, opts RequestOptions) (*core.Result, *engine.Database, error) {
+	res, db, _, err := s.RepairVersioned(ctx, name, sem, opts)
+	return res, db, err
+}
+
+// RepairVersioned is Repair additionally reporting the snapshot version
+// the repair executed against — the head at admission time, or the pinned
+// opts.Version. Results computed at a version warm-start later requests:
+// an update confined to relations outside the program's read-set replays
+// the cached result with no derivation at all, and insert-only updates
+// continue the end-semantics fixpoint from the previous result.
+func (s *Service) RepairVersioned(ctx context.Context, name string, sem core.Semantics, opts RequestOptions) (*core.Result, *engine.Database, uint64, error) {
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer done()
-	return core.RunWith(sess.snap.Fork(), sess.prog, sem, s.coreOptions(sess, reqCtx, opts))
+	snap, version, err := sess.resolve(opts.Version)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	copts := s.coreOptions(sess, reqCtx, opts)
+	copts.Warm = sess.repairHints(sem, version, copts.Independent.MaxNodes)
+	res, repaired, err := core.RunWith(snap.Fork(), sess.prog, sem, copts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sess.storeResult(sem, version, copts.Independent.MaxNodes, res)
+	return res, repaired, version, nil
 }
 
 // RepairAll runs all four semantics for the named session under one
 // admission token and one deadline, returning results keyed by semantics.
 func (s *Service) RepairAll(ctx context.Context, name string, opts RequestOptions) (map[core.Semantics]*core.Result, error) {
+	out, _, err := s.RepairAllVersioned(ctx, name, opts)
+	return out, err
+}
+
+// RepairAllVersioned is RepairAll additionally reporting the snapshot
+// version the repairs executed against.
+func (s *Service) RepairAllVersioned(ctx context.Context, name string, opts RequestOptions) (map[core.Semantics]*core.Result, uint64, error) {
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer done()
+	snap, version, err := sess.resolve(opts.Version)
+	if err != nil {
+		return nil, 0, err
+	}
 	out := make(map[core.Semantics]*core.Result, len(core.AllSemantics))
 	for _, sem := range core.AllSemantics {
-		res, _, err := core.RunWith(sess.snap.Fork(), sess.prog, sem, s.coreOptions(sess, reqCtx, opts))
+		copts := s.coreOptions(sess, reqCtx, opts)
+		copts.Warm = sess.repairHints(sem, version, copts.Independent.MaxNodes)
+		res, _, err := core.RunWith(snap.Fork(), sess.prog, sem, copts)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", sem, err)
+			return nil, 0, fmt.Errorf("%s: %w", sem, err)
 		}
+		sess.storeResult(sem, version, copts.Independent.MaxNodes, res)
 		out[sem] = res
 	}
-	return out, nil
+	return out, version, nil
 }
 
 // IsStable reports whether the session's database is already stable
 // (Def. 3.12) using the cached prepared plans. The request deadline is
 // honored between rule probes.
 func (s *Service) IsStable(ctx context.Context, name string, opts RequestOptions) (bool, error) {
+	stable, _, err := s.IsStableVersioned(ctx, name, opts)
+	return stable, err
+}
+
+// IsStableVersioned is IsStable additionally reporting the snapshot
+// version probed. Stability verdicts warm-start later probes: once a
+// version is known stable, probing a later version evaluates only the
+// insert-seeded passes of rules reading updated relations (deletions
+// alone can never destabilize a stable database — rule bodies are
+// positive), and updates outside the program's read-set need no
+// evaluation at all.
+func (s *Service) IsStableVersioned(ctx context.Context, name string, opts RequestOptions) (bool, uint64, error) {
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	defer done()
-	return core.CheckStablePCtx(reqCtx, sess.snap.Fork(), sess.prep)
+	snap, version, err := sess.resolve(opts.Version)
+	if err != nil {
+		return false, 0, err
+	}
+	stable, err := core.CheckStableWarmCtx(reqCtx, snap.Fork(), sess.prep, sess.stableHints(version))
+	if err != nil {
+		return false, 0, err
+	}
+	sess.storeStable(version, stable)
+	return stable, version, nil
+}
+
+// UpdateResult reports an applied base-table update batch.
+type UpdateResult struct {
+	// Version is the new head version; pin it in later requests for
+	// read-your-writes.
+	Version uint64 `json:"version"`
+	// OldestVersion is the oldest version still retained for pinned reads.
+	OldestVersion uint64 `json:"oldest_version"`
+	// Inserted and Deleted count the rows that took effect (set
+	// semantics: duplicate inserts and absent deletes are no-ops).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Changed lists the relations the batch modified, sorted.
+	Changed []string `json:"changed_relations,omitempty"`
+}
+
+// Update applies a base-table update batch (deletes first, then inserts)
+// to the named session, producing a new snapshot version and returning
+// its number. The session's data changes for subsequent requests;
+// requests already in flight keep reading the version they resolved, and
+// pinned reads on retained older versions keep working (the retention
+// window is Config.MaxVersions).
+//
+// Untouched relations share their frozen storage and warm indexes with
+// the previous version, so an update costs O(touched relations +
+// changes), not O(database) — and nothing of the session's prepared
+// plans is recomputed. A batch that does not fit the session schema
+// (unknown relation, wrong arity) fails atomically with
+// ErrSchemaMismatch. Concurrent updates to one session serialize;
+// versions advance one batch at a time.
+func (s *Service) Update(ctx context.Context, name string, inserts, deletes []engine.Row, opts RequestOptions) (*UpdateResult, error) {
+	sess, _, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	sess.verMu.Lock()
+	defer sess.verMu.Unlock()
+	head, _ := sess.ring.Head()
+	next, info, err := head.Apply(inserts, deletes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
+	}
+	version := sess.ring.Advance(next)
+	sess.vers[version] = &versionMeta{
+		changed:    info.Changed,
+		inserted:   info.InsertedTuples,
+		insertOnly: info.InsertOnly(),
+	}
+	oldest := sess.ring.Oldest()
+	for v := range sess.vers {
+		if v < oldest {
+			delete(sess.vers, v)
+		}
+	}
+	sess.updates.Add(1)
+	return &UpdateResult{
+		Version:       version,
+		OldestVersion: oldest,
+		Inserted:      info.Inserted,
+		Deleted:       info.Deleted,
+		Changed:       info.Changed,
+	}, nil
 }
 
 // DeleteViewTuple solves the deletion-propagation problem for the named
@@ -414,6 +741,10 @@ func (s *Service) DeleteViewTuple(ctx context.Context, name, viewSrc string, tar
 		return nil, err
 	}
 	defer done()
+	snap, _, err := sess.resolve(opts.Version)
+	if err != nil {
+		return nil, err
+	}
 	v, err := sideeffect.ParseView(viewSrc, sess.schema)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -422,7 +753,7 @@ func (s *Service) DeleteViewTuple(ctx context.Context, name, viewSrc string, tar
 	if opts.SolverMaxNodes > 0 {
 		nodes = opts.SolverMaxNodes
 	}
-	res, _, err := sideeffect.DeleteViewTuple(sess.snap.Fork(), v, target, sess.prog,
+	res, _, err := sideeffect.DeleteViewTuple(snap.Fork(), v, target, sess.prog,
 		sideeffect.Options{MaxNodes: nodes, Ctx: reqCtx})
 	if errors.Is(err, sideeffect.ErrNoSuchRow) {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)

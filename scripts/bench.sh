@@ -4,33 +4,55 @@
 # If the dated snapshot already exists (two runs in one day), a numeric
 # suffix keeps the earlier snapshot intact.
 #
-# Usage: ./scripts/bench.sh [extra go-test args...]
-#   e.g. ./scripts/bench.sh -benchtime=10x
+# Usage:
+#   ./scripts/bench.sh [extra go-test args...]     full run + snapshot
+#   ./scripts/bench.sh --check [go-test args...]   regression gate
+#
+# --check reruns only the key benchmarks, derives the same comparison
+# speedups, and fails (exit 1) if any key speedup dropped more than
+# BENCH_CHECK_TOLERANCE percent (default 25) below the latest committed
+# snapshot. Speedups are ratios of two legs measured in the same run, so
+# they transfer across machines — absolute ns/op does not. No snapshot
+# is written in check mode; CI runs it as the perf smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-date="$(date -u +%Y-%m-%d)"
-out="BENCH_${date}.json"
-n=2
-while [ -e "$out" ]; do
-    out="BENCH_${date}.${n}.json"
-    n=$((n + 1))
-done
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+# Stray compiled test binaries (go test -c, interrupted runs) must never
+# linger in the repo root: they shadow real changes in `git status` noise
+# and bloat accidental adds. .gitignore covers *.test; this covers disk.
+rm -f ./*.test
 
-echo "running benchmarks (this regenerates every paper table/figure)..."
-# No pipe into tee: plain sh has no pipefail, and a masked go-test failure
-# would produce a silently truncated snapshot.
-go test -bench=. -benchmem -run='^$' "$@" . > "$raw"
+check=0
+if [ "${1:-}" = "--check" ]; then
+    check=1
+    shift
+fi
+
+date="$(date -u +%Y-%m-%d)"
+raw="$(mktemp)"
+json="$(mktemp)"
+trap 'rm -f "$raw" "$json"' EXIT
+
+if [ "$check" = 1 ]; then
+    # Key benches only: every leg a checked speedup is derived from.
+    benchre='^(BenchmarkPreparedRepair|BenchmarkForkVsClone|BenchmarkStepSearch|BenchmarkServerThroughput|BenchmarkSessionUpdate)'
+    echo "running key benchmarks for the regression check..."
+    go test -bench="$benchre" -benchmem -run='^$' "$@" . > "$raw"
+else
+    echo "running benchmarks (this regenerates every paper table/figure)..."
+    # No pipe into tee: plain sh has no pipefail, and a masked go-test
+    # failure would produce a silently truncated snapshot.
+    go test -bench=. -benchmem -run='^$' "$@" . > "$raw"
+fi
 cat "$raw"
 
 # Convert `go test -bench` lines into a JSON array of
 # {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}, then append
-# derived comparison entries: the prepared-vs-unprepared and
-# parallel-vs-sequential speedups the prepared-execution pipeline exists
-# for (speedup > 1 means the first leg is faster).
+# derived comparison entries: the prepared-vs-unprepared,
+# parallel-vs-sequential, CoW, serving, and mutable-session speedups the
+# respective subsystems exist for (speedup > 1 means the first leg is
+# faster).
 awk -v date="$date" '
 BEGIN { print "[" }
 /^Benchmark/ {
@@ -66,10 +88,12 @@ END {
           "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/clone")
     ratio("comparison/step_search", \
           "BenchmarkStepSearch/fork", "BenchmarkStepSearch/clone")
-    # O(changes) scaling evidence, not a speedup: forking a 10x larger
-    # frozen base should cost ~1x the small-base fork (value ~1.0-1.2).
+    # O(changes) scaling evidence, not a speedup: forking (or updating) a
+    # 10x larger frozen base should cost ~1x the small-base op.
     ratio("scaling/fork_cost_10x_base", \
           "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/fork10x")
+    ratio("scaling/update_cost_10x_base", \
+          "BenchmarkSessionUpdate/update_only", "BenchmarkSessionUpdate/update_only_10x")
     # Serving: cached-session requests (Prepare once / Freeze once / fork
     # per request behind admission control) vs naive per-request Repair,
     # at 1, 4, and 16 concurrent clients.
@@ -79,8 +103,84 @@ END {
           "BenchmarkServerThroughput/cached/c4", "BenchmarkServerThroughput/naive/c4")
     ratio("server_throughput/cached_vs_naive_c16", \
           "BenchmarkServerThroughput/cached/c16", "BenchmarkServerThroughput/naive/c16")
+    # Mutable sessions: small-delta update + repair on the live session vs
+    # evict + rebuild + re-register + repair.
+    ratio("session_update/incremental_vs_reregister", \
+          "BenchmarkSessionUpdate/incremental", "BenchmarkSessionUpdate/reregister")
     print "\n]"
 }
-' "$raw" > "$out"
+' "$raw" > "$json"
 
-echo "wrote $out"
+if [ "$check" = 0 ]; then
+    out="BENCH_${date}.json"
+    n=2
+    while [ -e "$out" ]; do
+        out="BENCH_${date}.${n}.json"
+        n=$((n + 1))
+    done
+    cp "$json" "$out"
+    echo "wrote $out"
+    exit 0
+fi
+
+# ---- check mode: compare key speedups against the latest snapshot ----
+
+# Latest committed snapshot: max (date, numeric suffix); the unsuffixed
+# file of a day is its first run. Lexicographic ls alone is wrong here
+# ("...31.2.json" sorts before "...31.json").
+baseline="$(ls BENCH_*.json 2>/dev/null | awk -F'[_.]' '
+    { suffix = ($3 == "json") ? 1 : $3; printf "%s %04d %s\n", $2, suffix, $0 }
+' | sort -k1,1 -k2,2n | tail -1 | awk '{print $3}')"
+if [ -z "$baseline" ]; then
+    echo "bench check: no committed BENCH_*.json baseline; skipping comparison"
+    exit 0
+fi
+echo "bench check: comparing against $baseline (tolerance ${BENCH_CHECK_TOLERANCE:-25}%)"
+
+awk -v tol="${BENCH_CHECK_TOLERANCE:-25}" -v baseline="$baseline" -v fresh="$json" '
+function parse(line, arr,    name, val) {
+    if (line !~ /"speedup"/) return
+    name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+    val = line; sub(/.*"speedup": /, "", val); sub(/,.*/, "", val)
+    arr[name] = val + 0
+}
+BEGIN {
+    # Checked entries: large, stable cross-leg ratios. Deliberately not
+    # checked: parallel_vs_sequential (~1.0 on single-core CI) and the
+    # mas pair (~1.1) — a 25% band around parity is all noise.
+    keys["comparison/prepared_vs_unprepared_small"] = 1
+    keys["comparison/fork_vs_clone"] = 1
+    keys["comparison/step_search"] = 1
+    keys["server_throughput/cached_vs_naive_c4"] = 1
+    keys["session_update/incremental_vs_reregister"] = 1
+    # Scaling entries must stay near 1.0: cost creeping up with base size
+    # means O(changes) was lost. Checked against an absolute ceiling
+    # rather than a relative band (the baseline itself is ~1.0).
+    scal["scaling/fork_cost_10x_base"] = 1
+    scal["scaling/update_cost_10x_base"] = 1
+
+    while ((getline line < baseline) > 0) parse(line, base)
+    close(baseline)
+    while ((getline line < fresh) > 0) parse(line, now)
+    close(fresh)
+
+    fail = 0
+    for (k in keys) {
+        if (!(k in now)) { printf "  MISSING %-45s (not produced by this run)\n", k; fail = 1; continue }
+        if (!(k in base)) { printf "  skip    %-45s (no baseline entry)\n", k; continue }
+        floor = base[k] * (1 - tol / 100)
+        verdict = (now[k] < floor) ? "REGRESS" : "ok"
+        if (verdict == "REGRESS") fail = 1
+        printf "  %-7s %-45s %.3f -> %.3f (floor %.3f)\n", verdict, k, base[k], now[k], floor
+    }
+    for (k in scal) {
+        if (!(k in now)) continue
+        ceil = 2.0  # a 10x base must never make the op cost 2x
+        verdict = (now[k] > ceil) ? "REGRESS" : "ok"
+        if (verdict == "REGRESS") fail = 1
+        printf "  %-7s %-45s %.3f (ceiling %.3f)\n", verdict, k, now[k], ceil
+    }
+    if (fail) { print "bench check FAILED: key speedup regressed beyond tolerance"; exit 1 }
+    print "bench check passed"
+}
+'

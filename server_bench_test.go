@@ -20,6 +20,15 @@ import (
 // per-request planning and execution-state setup — exactly what the
 // session cache amortizes — are a realistic share of request cost.
 func buildBenchWorkload(tb testing.TB) (*engine.Database, *datalog.Program) {
+	return buildScaledBenchWorkload(tb, 1)
+}
+
+// buildScaledBenchWorkload is buildBenchWorkload with the bulk relations
+// (T1..T6, Link) holding scale× as many rows. The extra rows sit below
+// every guard threshold, so the repair itself stays fixed while the base
+// — and anything that costs O(base) — grows: exactly the shape that
+// separates O(changes) incremental updates from O(database) rebuilds.
+func buildScaledBenchWorkload(tb testing.TB, scale int) (*engine.Database, *datalog.Program) {
 	tb.Helper()
 	schemaSrc := `
 Seed(gid, tag)
@@ -74,6 +83,15 @@ Link(xid, yid)
 	}
 	db.MustInsert("Link", engine.Int(10), engine.Int(11))
 	db.MustInsert("Link", engine.Int(11), engine.Int(10))
+	// Bulk rows beyond scale 1: ids 20.. keep clear of the hot 10/11 join
+	// keys and the >1000 guards, adding base volume without repair work.
+	for s := 1; s < scale; s++ {
+		for _, rel := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "Link"} {
+			for i := 0; i < 2; i++ {
+				db.MustInsert(rel, engine.Int(20+2*s+i), engine.Int(20+2*s+(i+1)%2))
+			}
+		}
+	}
 	prog, err := datalog.ParseAndValidate(progSrc, schema)
 	if err != nil {
 		tb.Fatal(err)
@@ -119,6 +137,96 @@ func BenchmarkServerThroughput(b *testing.B) {
 				_, _, err := deltarepair.Repair(db, prog, deltarepair.Stage)
 				return err
 			})
+		})
+	}
+}
+
+// BenchmarkSessionUpdate contrasts the two ways a serving system can
+// follow base data that changes between requests:
+//
+//   - incremental: Service.Update applies a small delta to the live
+//     session (new snapshot version, untouched relations share frozen
+//     cores and warm indexes, prepared plans untouched), then repairs;
+//   - reregister: what frozen sessions required before — evict the
+//     session, rebuild the database from rows (re-intern everything),
+//     re-register, and repair (re-prepare + re-freeze + cold indexes).
+//
+// The update_only legs isolate the Update call itself on a 1× and a 10×
+// base: because cost is O(touched relations + changes), the 10× base —
+// all growth in relations the delta never touches — should cost about
+// the same (scripts/bench.sh records the ratio as
+// scaling/update_cost_10x_base; ~1.0 is the O(changes) evidence).
+func BenchmarkSessionUpdate(b *testing.B) {
+	ctx := context.Background()
+	// Each iteration i inserts Seed row (100+i%64) and deletes the row
+	// inserted the previous iteration, so the session's size stays
+	// bounded and every batch does real work (set semantics: the slot
+	// re-inserted after a wrap was deleted 63 iterations earlier).
+	seedRow := func(i int) []deltarepair.Row {
+		return []deltarepair.Row{{Rel: "Seed", Vals: []engine.Value{engine.Int(100 + i%64), engine.Str("keep")}}}
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		db, prog := buildScaledBenchWorkload(b, 1)
+		svc := server.New(server.Config{})
+		if err := svc.Register("inc", db.Schema, db, prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Warm("inc"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Update(ctx, "inc", seedRow(i), seedRow(i-1), server.RequestOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := svc.Repair(ctx, "inc", core.SemStage, server.RequestOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("reregister", func(b *testing.B) {
+		svc := server.New(server.Config{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The full cost of following one base change without mutable
+			// sessions: rebuild the instance (with the changed row), evict,
+			// re-register, re-warm, repair.
+			db, prog := buildScaledBenchWorkload(b, 1)
+			db.MustInsert("Seed", engine.Int(100+i%64), engine.Str("keep"))
+			svc.Deregister("re")
+			if err := svc.Register("re", db.Schema, db, prog); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := svc.Repair(ctx, "re", core.SemStage, server.RequestOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, leg := range []struct {
+		name  string
+		scale int
+	}{{"update_only", 1}, {"update_only_10x", 10}} {
+		b.Run(leg.name, func(b *testing.B) {
+			db, prog := buildScaledBenchWorkload(b, leg.scale)
+			svc := server.New(server.Config{})
+			if err := svc.Register("u", db.Schema, db, prog); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Warm("u"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Update(ctx, "u", seedRow(i), seedRow(i-1), server.RequestOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }
