@@ -81,8 +81,10 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 		if cfg.warmSeeds != nil {
 			dst = old[rs.Name]
 		}
-		work.Delta(rs.Name).Scan(func(t *engine.Tuple) bool {
-			dst.Insert(t)
+		work.Delta(rs.Name).ScanRuns(func(run []*engine.Tuple) bool {
+			for _, t := range run {
+				dst.Insert(t)
+			}
 			return true
 		})
 	}
@@ -219,8 +221,10 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			if fr.Len() == 0 {
 				continue
 			}
-			fr.Scan(func(t *engine.Tuple) bool {
-				old[rs.Name].Insert(t)
+			fr.ScanRuns(func(run []*engine.Tuple) bool {
+				for _, t := range run {
+					old[rs.Name].Insert(t)
+				}
 				return true
 			})
 			fr.Reset()

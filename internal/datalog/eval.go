@@ -194,6 +194,7 @@ func (r *Rule) doCompile() {
 type plan struct {
 	order  []int   // body atom indexes in join order
 	lookup []int   // per depth: column probed via index, -1 = full scan
+	checks [][]int // per depth: further columns bound before the depth
 	compAt [][]int // comparisons runnable after each depth
 }
 
@@ -204,11 +205,14 @@ type plan struct {
 // Comparisons are scheduled at the first depth where both sides are bound,
 // and the index-probe column of each depth — the first column whose term is
 // a constant or a variable bound at an earlier depth — is fixed statically.
+// Every other column bound before the depth becomes a check column: the
+// probe pushes it down as an engine.ColCheck, culling candidates on frozen
+// column vectors before their tuples are materialized.
 func planFor(cr *compiledRule, weight func(atom int) int) *plan {
 	n := len(cr.atoms)
 	used := make([]bool, n)
 	varBound := make([]bool, cr.nvars)
-	pl := &plan{order: make([]int, 0, n), lookup: make([]int, n)}
+	pl := &plan{order: make([]int, 0, n), lookup: make([]int, n), checks: make([][]int, n)}
 
 	for len(pl.order) < n {
 		best, bestScore, bestWeight := -1, -1, 0
@@ -228,12 +232,18 @@ func planFor(cr *compiledRule, weight func(atom int) int) *plan {
 			}
 		}
 		used[best] = true
-		// Fix the probe column before the atom's own variables bind.
-		pl.lookup[len(pl.order)] = -1
+		// Fix the probe and check columns before the atom's own variables
+		// bind: the first bound column probes the index, the rest become
+		// pushed-down equality checks.
+		d := len(pl.order)
+		pl.lookup[d] = -1
 		for col, t := range cr.atoms[best].terms {
 			if t.varID < 0 || varBound[t.varID] {
-				pl.lookup[len(pl.order)] = col
-				break
+				if pl.lookup[d] < 0 {
+					pl.lookup[d] = col
+				} else {
+					pl.checks[d] = append(pl.checks[d], col)
+				}
 			}
 		}
 		pl.order = append(pl.order, best)
@@ -289,11 +299,51 @@ type ExecContext struct {
 	bound    []bool
 	tuples   []*engine.Tuple
 	fresh    [][]int
+	checks   [][]engine.ColCheck // per-depth pushed-down check scratch
+
+	// asnChunk/tupChunk are bump allocators for emitted assignments: each
+	// emit hands out the next slot of a chunk instead of allocating, cutting
+	// per-assignment allocations to ~2 per chunk. Handed-out slots are never
+	// reused — the chunks are abandoned to the GC as they fill — so callers
+	// may retain emitted Assignments indefinitely, exactly as before.
+	asnChunk []Assignment
+	tupChunk []*engine.Tuple
 }
 
 // NewExecContext returns an empty context; it grows to fit each rule it
 // evaluates.
 func NewExecContext() *ExecContext { return &ExecContext{} }
+
+// assignment chunk sizes: amortize the two allocations per emitted
+// assignment over whole chunks.
+const (
+	asnChunkLen = 64
+	tupChunkLen = 256
+)
+
+// newAssignment builds an emitted assignment from the current tuple vector
+// using the context's bump allocator.
+func (ctx *ExecContext) newAssignment(rule *Rule, tuples []*engine.Tuple) *Assignment {
+	if len(ctx.asnChunk) == 0 {
+		ctx.asnChunk = make([]Assignment, asnChunkLen)
+	}
+	asn := &ctx.asnChunk[0]
+	ctx.asnChunk = ctx.asnChunk[1:]
+	n := len(tuples)
+	if len(ctx.tupChunk) < n {
+		size := tupChunkLen
+		if n > size {
+			size = n
+		}
+		ctx.tupChunk = make([]*engine.Tuple, size)
+	}
+	buf := ctx.tupChunk[:n:n]
+	ctx.tupChunk = ctx.tupChunk[n:]
+	copy(buf, tuples)
+	asn.Rule = rule
+	asn.Tuples = buf
+	return asn
+}
 
 // ensure sizes the context for a rule with nvars variables and natoms body
 // atoms and clears the bound flags (cheap, and it keeps a context that was
@@ -315,6 +365,9 @@ func (ctx *ExecContext) ensure(nvars, natoms int) {
 	ctx.tuples = ctx.tuples[:natoms]
 	for len(ctx.fresh) < natoms {
 		ctx.fresh = append(ctx.fresh, nil)
+	}
+	for len(ctx.checks) < natoms {
+		ctx.checks = append(ctx.checks, nil)
 	}
 }
 
@@ -365,8 +418,7 @@ func (ev *evaluator) run(depth int) {
 	}
 	ctx := ev.ctx
 	if depth == len(ev.pl.order) {
-		asn := &Assignment{Rule: ev.rule, Tuples: append([]*engine.Tuple(nil), ctx.tuples...)}
-		if !ev.emit(asn) {
+		if !ev.emit(ctx.newAssignment(ev.rule, ctx.tuples)) {
 			ev.stopped = true
 		}
 		return
@@ -374,12 +426,20 @@ func (ev *evaluator) run(depth int) {
 	ai := ev.pl.order[depth]
 	atom := ev.cr.atoms[ai]
 
-	// The probe column is fixed by the plan; resolve its value now.
+	// The probe and check columns are fixed by the plan; resolve their
+	// values now. Checks are pushed down into the probe/scan so the engine
+	// can cull failing frozen candidates on column vectors.
 	lookupCol := ev.pl.lookup[depth]
 	var lookupVal engine.Value
 	if lookupCol >= 0 {
 		lookupVal, _ = ev.termValue(atom.terms[lookupCol])
 	}
+	checks := ctx.checks[depth][:0]
+	for _, col := range ev.pl.checks[depth] {
+		v, _ := ev.termValue(atom.terms[col])
+		checks = append(checks, engine.ColCheck{Col: col, Val: v})
+	}
+	ctx.checks[depth] = checks
 
 	tryTuple := func(tp *engine.Tuple) bool {
 		if ev.stopped {
@@ -440,16 +500,12 @@ func (ev *evaluator) run(depth int) {
 			continue
 		}
 		if lookupCol >= 0 {
-			for _, tp := range rel.Lookup(lookupCol, lookupVal) {
-				if !tryTuple(tp) {
-					return
-				}
-			}
+			rel.LookupEach(lookupCol, lookupVal, checks, tryTuple)
 		} else {
-			rel.Scan(tryTuple)
-			if ev.stopped {
-				return
-			}
+			rel.ScanChecked(checks, tryTuple)
+		}
+		if ev.stopped {
+			return
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -30,7 +31,8 @@ import (
 
 // frozenRel is the immutable core shared by all forks of one relation:
 // the live tuples at freeze time, their ID->position map, and lazily
-// built shared read structures.
+// built shared read structures — positional hash indexes, the columnar
+// image of the tuples (see columnar.go), and the content intern map.
 type frozenRel struct {
 	name       string
 	arity      int
@@ -39,19 +41,31 @@ type frozenRel struct {
 	order []*Tuple          // live tuples at freeze time, insertion order
 	byID  map[TupleID]int32 // TID -> position in order
 
-	// indexes and keys hold immutable snapshots behind atomic pointers:
-	// readers load without locking; builders serialize on mu and publish a
-	// fresh map copy. Buckets reachable from here are never mutated.
+	// indexes, cols, and keys hold immutable snapshots behind atomic
+	// pointers: readers load without locking; builders serialize on mu and
+	// publish a fresh value. Buckets reachable from here are never mutated.
 	mu      sync.Mutex
-	indexes atomic.Pointer[map[int]map[Value]*idxBucket]
+	indexes atomic.Pointer[map[int]map[Value]*frozenBucket]
+	cols    atomic.Pointer[frozenCols]
 	keys    atomic.Pointer[map[string]TupleID]
+}
+
+// frozenBucket is one frozen hash-index bucket: the matching tuples in
+// Seq-ascending order (Lookup's result order) with the parallel positions
+// in the core. Resolving a candidate costs one slice load, no ID-map
+// lookup, and the deletion bitmap filters by position. Buckets are
+// immutable once published, so pristine forks can hand out tuples as a
+// shared zero-copy Lookup result.
+type frozenBucket struct {
+	poss   []int32  // positions in the core, parallel to tuples
+	tuples []*Tuple // Seq-ascending
 }
 
 // index returns the frozen hash index on col, building and publishing it
 // on first use. The build happens at most once per (snapshot, column)
 // across all forks — this is what lets RunAllParallel's four forks probe
 // one warm index instead of four rebuilt ones.
-func (fz *frozenRel) index(col int) map[Value]*idxBucket {
+func (fz *frozenRel) index(col int) map[Value]*frozenBucket {
 	if m := fz.indexes.Load(); m != nil {
 		if idx, ok := (*m)[col]; ok {
 			return idx
@@ -59,24 +73,55 @@ func (fz *frozenRel) index(col int) map[Value]*idxBucket {
 	}
 	fz.mu.Lock()
 	defer fz.mu.Unlock()
+	return fz.buildIndexLocked(col)
+}
+
+// buildIndexLocked builds and publishes the positional index on col; the
+// caller must hold fz.mu. Returns the existing index if already built.
+func (fz *frozenRel) buildIndexLocked(col int) map[Value]*frozenBucket {
 	old := fz.indexes.Load()
 	if old != nil {
 		if idx, ok := (*old)[col]; ok {
 			return idx
 		}
 	}
-	idx := make(map[Value]*idxBucket)
-	for _, t := range fz.order {
+	idx := make(map[Value]*frozenBucket)
+	sortNeeded := false
+	for pos, t := range fz.order {
 		v := t.Vals[col].mapKey()
 		b := idx[v]
 		if b == nil {
-			b = &idxBucket{}
+			b = &frozenBucket{}
 			idx[v] = b
 		}
-		b.ids = append(b.ids, t.TID)
-		b.n++
+		if n := len(b.tuples); n > 0 && b.tuples[n-1].Seq > t.Seq {
+			sortNeeded = true
+		}
+		b.poss = append(b.poss, int32(pos))
+		b.tuples = append(b.tuples, t)
 	}
-	next := make(map[int]map[Value]*idxBucket, 4)
+	if sortNeeded {
+		// Frozen cores almost always hold tuples in Seq order (compaction
+		// and flattening preserve insertion order); when one doesn't, sort
+		// tuples and positions in tandem so every bucket is Seq-ascending.
+		for _, b := range idx {
+			if sort.SliceIsSorted(b.tuples, func(i, j int) bool { return b.tuples[i].Seq < b.tuples[j].Seq }) {
+				continue
+			}
+			perm := make([]int, len(b.tuples))
+			for i := range perm {
+				perm[i] = i
+			}
+			sort.Slice(perm, func(i, j int) bool { return b.tuples[perm[i]].Seq < b.tuples[perm[j]].Seq })
+			tuples := make([]*Tuple, len(b.tuples))
+			poss := make([]int32, len(b.poss))
+			for i, p := range perm {
+				tuples[i], poss[i] = b.tuples[p], b.poss[p]
+			}
+			b.tuples, b.poss = tuples, poss
+		}
+	}
+	next := make(map[int]map[Value]*frozenBucket, 4)
 	if old != nil {
 		for c, m := range *old {
 			next[c] = m
@@ -85,6 +130,26 @@ func (fz *frozenRel) index(col int) map[Value]*idxBucket {
 	next[col] = idx
 	fz.indexes.Store(&next)
 	return idx
+}
+
+// columnar returns the core's columnar image, building and publishing it
+// on first use (at most once per snapshot across all forks), or nil when
+// columnar read paths are disabled or the core is empty.
+func (fz *frozenRel) columnar() *frozenCols {
+	if !columnarOn.Load() || len(fz.order) == 0 {
+		return nil
+	}
+	if fc := fz.cols.Load(); fc != nil {
+		return fc
+	}
+	fz.mu.Lock()
+	defer fz.mu.Unlock()
+	if fc := fz.cols.Load(); fc != nil {
+		return fc
+	}
+	fc := buildFrozenCols(fz.order, fz.arity)
+	fz.cols.Store(fc)
+	return fc
 }
 
 // indexedColumns returns the frozen columns with built indexes.
@@ -134,20 +199,24 @@ func (fz *frozenRel) fork() *Relation {
 // contents and converts the relation in place into a pristine overlay of
 // that core. A relation that is already a pristine overlay shares its
 // existing core (no copying); a diverged overlay flattens first. The
-// relation's storage — order slice, ID map, warm indexes, intern map — is
-// donated to the core, so freezing an undiverged relation is O(1) plus any
-// pending compaction.
+// relation's storage — order slice, ID map, intern map — is donated to
+// the core, so freezing an undiverged relation is O(tuples per warm
+// column) to rebuild positional indexes, plus any pending compaction.
+// Columns that were warm before the freeze stay warm after it.
 func (r *Relation) freeze() *frozenRel {
+	if r.frozen != nil && r.fdead == 0 && len(r.order) == 0 {
+		return r.frozen
+	}
+	warm := r.IndexedColumns()
 	if r.frozen != nil {
-		if r.fdead == 0 && len(r.order) == 0 {
-			return r.frozen
-		}
-		r.materialize()
+		// Flatten without rebuilding the flat tail indexes: the core builds
+		// its own positional indexes below, so a local rebuild here would be
+		// immediately thrown away.
+		r.flatten(nil)
 	}
 	if r.dead > 0 {
 		r.compact()
 	}
-	r.SyncIndexes()
 	fz := &frozenRel{
 		name:       r.Name,
 		arity:      r.Arity,
@@ -155,13 +224,16 @@ func (r *Relation) freeze() *frozenRel {
 		order:      r.order,
 		byID:       r.byID,
 	}
-	if r.indexes != nil {
-		idx := r.indexes
-		fz.indexes.Store(&idx)
-	}
 	if r.byKey != nil {
 		keys := r.byKey
 		fz.keys.Store(&keys)
+	}
+	if len(warm) > 0 {
+		fz.mu.Lock()
+		for _, col := range warm {
+			fz.buildIndexLocked(col)
+		}
+		fz.mu.Unlock()
 	}
 	r.frozen, r.fdel, r.fdead = fz, nil, 0
 	r.byID = make(map[TupleID]int32)

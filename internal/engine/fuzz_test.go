@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -25,8 +26,32 @@ func FuzzParseValue(f *testing.F) {
 	})
 }
 
+// fuzzDumpDB renders every relation's live base and delta content —
+// IDs, sequence numbers, values — as one canonical string for
+// round-trip comparisons.
+func fuzzDumpDB(db *Database) string {
+	var b strings.Builder
+	for _, rs := range db.Schema.Relations {
+		for _, side := range []struct {
+			name string
+			rel  *Relation
+		}{{"base", db.base[rs.Name]}, {"delta", db.delta[rs.Name]}} {
+			fmt.Fprintf(&b, "%s/%s:", rs.Name, side.name)
+			side.rel.Scan(func(t *Tuple) bool {
+				fmt.Fprintf(&b, " %s#%d%v", t.ID, t.Seq, t.Vals)
+				return true
+			})
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
 // FuzzSnapshot: loading arbitrary bytes never panics; it either errors or
-// yields a database whose accessors work.
+// yields a database that survives, content-identical, a freeze/flatten
+// cycle (building and discarding columnar cores) and a save/load
+// round-trip in both the row (format 1) and columnar (format 2)
+// snapshot encodings.
 func FuzzSnapshot(f *testing.F) {
 	f.Add([]byte("garbage"))
 	f.Add([]byte{})
@@ -37,5 +62,40 @@ func FuzzSnapshot(f *testing.F) {
 		}
 		_ = db.TotalTuples()
 		_ = db.Stats()
+		ref := fuzzDumpDB(db)
+
+		// Freeze into (columnar-indexed) immutable cores, then flatten
+		// back to flat row storage: content must be untouched.
+		db.Freeze()
+		if got := fuzzDumpDB(db); got != ref {
+			t.Fatalf("freeze changed content:\n%s\nwant:\n%s", got, ref)
+		}
+		for _, rs := range db.Schema.Relations {
+			db.base[rs.Name].materialize()
+			db.delta[rs.Name].materialize()
+		}
+		if got := fuzzDumpDB(db); got != ref {
+			t.Fatalf("flatten changed content:\n%s\nwant:\n%s", got, ref)
+		}
+
+		// Save/load round-trip in both encodings. The toggle is global,
+		// but fuzz executions are sequential within a worker process and
+		// the prior value is restored before the next check.
+		for _, columnar := range []bool{false, true} {
+			prev := SetColumnarEnabled(columnar)
+			var buf strings.Builder
+			err := db.Save(&buf)
+			SetColumnarEnabled(prev)
+			if err != nil {
+				t.Fatalf("save (columnar=%v): %v", columnar, err)
+			}
+			rdb, err := LoadSnapshot(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatalf("reload (columnar=%v): %v", columnar, err)
+			}
+			if got := fuzzDumpDB(rdb); got != ref {
+				t.Fatalf("round trip (columnar=%v) changed content:\n%s\nwant:\n%s", columnar, got, ref)
+			}
+		}
 	})
 }

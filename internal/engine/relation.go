@@ -72,12 +72,19 @@ type Relation struct {
 
 // idxBucket is one hash-index bucket: tuple IDs in insertion order, of
 // which n are still live (dead IDs are filtered out lazily on lookup).
-// Buckets published on a frozenRel are immutable: always fully live, never
-// compacted or appended to.
 type idxBucket struct {
 	ids   []TupleID
 	n     int32 // live count
 	stale bool  // queued on Relation.dirty for the next SyncIndexes
+
+	// maxSeq and unsorted track whether ids is provably Seq-ascending, so
+	// LookupEach can stream the bucket without materializing and sorting a
+	// result slice. Appends below the running max mark the bucket unsorted;
+	// compaction preserves relative order, so the flag only ever needs to
+	// be set on insert (it stays conservatively set even if deletions
+	// restore sortedness).
+	maxSeq   int
+	unsorted bool
 }
 
 // NewRelation creates an empty relation.
@@ -246,6 +253,11 @@ func (r *Relation) Insert(t *Tuple) bool {
 		}
 		b.ids = append(b.ids, t.TID)
 		b.n++
+		if t.Seq < b.maxSeq {
+			b.unsorted = true
+		} else {
+			b.maxSeq = t.Seq
+		}
 	}
 	pos := int32(len(r.order))
 	r.byID[t.TID] = pos
@@ -344,11 +356,18 @@ func (r *Relation) compact() {
 // columns are rebuilt locally. Called when the overlay has diverged so far
 // (or must be refrozen) that structural sharing no longer pays.
 func (r *Relation) materialize() {
+	r.flatten(r.IndexedColumns())
+}
+
+// flatten merges the live frozen tuples and the live tail into owned flat
+// storage, then rebuilds local indexes for cols (nil skips the rebuild —
+// freeze flattens this way because the new core builds its own positional
+// indexes from the merged order).
+func (r *Relation) flatten(cols []int) {
 	fz := r.frozen
 	if fz == nil {
 		return
 	}
-	cols := r.IndexedColumns()
 	n := r.Len()
 	order := make([]*Tuple, 0, n)
 	byID := make(map[TupleID]int32, n)
@@ -530,6 +549,11 @@ func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 		}
 		b.ids = append(b.ids, t.TID)
 		b.n++
+		if t.Seq < b.maxSeq {
+			b.unsorted = true
+		} else {
+			b.maxSeq = t.Seq
+		}
 	}
 	r.indexes[col] = idx
 	return idx
@@ -540,38 +564,54 @@ func (r *Relation) ensureIndex(col int) map[Value]*idxBucket {
 // sequence (deterministic). The first call on a column builds its index in
 // O(n). No content key is built: the probe hashes the Value itself. On an
 // overlay the frozen side reads the snapshot-shared warm index filtered
-// through the deletion bitmap, then the tail index is merged in.
+// through the deletion bitmap, then the tail index is merged in. A probe
+// answered entirely by a frozen bucket (no deletions, no tail hits) shares
+// the bucket's Seq-sorted slice zero-copy; results are read-only in either
+// case (appending is safe — the shared slice's capacity is clipped).
 func (r *Relation) Lookup(col int, v Value) []*Tuple {
 	if col < 0 || col >= r.Arity {
 		return nil
 	}
 	mk := v.mapKey()
-	var out []*Tuple
+	var fb *frozenBucket
+	fz := r.frozen
+	if fz != nil && len(fz.order) > 0 {
+		fb = fz.index(col)[mk]
+	}
+	tb := r.ensureIndex(col)[mk]
+	if tb != nil && int(tb.n) != len(tb.ids) {
+		tb.compact(r)
+	}
+	frozenN, tailN := 0, 0
+	if fb != nil {
+		frozenN = len(fb.tuples)
+	}
+	if tb != nil {
+		tailN = int(tb.n)
+	}
+	if frozenN+tailN == 0 {
+		return nil
+	}
+	if tailN == 0 && r.fdead == 0 && columnarOn.Load() {
+		// Zero-copy fast path: the frozen bucket is the whole answer and is
+		// already in result order.
+		return fb.tuples[:frozenN:frozenN]
+	}
+	out := make([]*Tuple, 0, frozenN+tailN)
 	sorted := true
-	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
-		if b := fz.index(col)[mk]; b != nil {
-			out = make([]*Tuple, 0, len(b.ids))
-			for _, id := range b.ids {
-				pos := fz.byID[id]
-				if r.fdead > 0 && r.fdelGet(pos) {
-					continue
+	if fb != nil {
+		if r.fdead == 0 {
+			out = append(out, fb.tuples...)
+		} else {
+			for i, pos := range fb.poss {
+				if !r.fdelGet(pos) {
+					out = append(out, fb.tuples[i])
 				}
-				t := fz.order[pos]
-				if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
-					sorted = false
-				}
-				out = append(out, t)
 			}
 		}
 	}
-	if b := r.ensureIndex(col)[mk]; b != nil && b.n > 0 {
-		if int(b.n) != len(b.ids) {
-			b.compact(r)
-		}
-		if out == nil {
-			out = make([]*Tuple, 0, b.n)
-		}
-		for _, id := range b.ids {
+	if tb != nil {
+		for _, id := range tb.ids {
 			t := r.order[r.byID[id]]
 			if len(out) > 0 && out[len(out)-1].Seq > t.Seq {
 				sorted = false
@@ -586,6 +626,176 @@ func (r *Relation) Lookup(col int, v Value) []*Tuple {
 		sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	}
 	return out
+}
+
+// LookupEach calls fn for each live tuple whose value at col equals v and
+// that satisfies every check, in Lookup order (Seq-ascending), without
+// materializing a result slice; fn returning false stops the iteration.
+// Checks are evaluated on the frozen core's column vectors when the
+// columnar image is available, culling failing candidates before their
+// tuples are touched. When the merged order cannot be streamed directly
+// (an unsorted tail bucket, or a tail that interleaves with the frozen
+// side), it falls back to Lookup and filters — the yielded sequence is
+// identical either way. Mutating the relation mid-iteration is not
+// supported.
+func (r *Relation) LookupEach(col int, v Value, checks []ColCheck, fn func(*Tuple) bool) {
+	if col < 0 || col >= r.Arity {
+		return
+	}
+	if !columnarOn.Load() {
+		for _, t := range r.Lookup(col, v) {
+			if checksMatchTuple(t, checks) && !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	mk := v.mapKey()
+	var fb *frozenBucket
+	fz := r.frozen
+	if fz != nil && len(fz.order) > 0 {
+		fb = fz.index(col)[mk]
+	}
+	tb := r.ensureIndex(col)[mk]
+	if tb != nil && int(tb.n) != len(tb.ids) {
+		tb.compact(r)
+	}
+	if tb != nil && tb.n > 0 {
+		stream := !tb.unsorted
+		if stream && fb != nil && len(fb.tuples) > 0 {
+			// The tail follows the frozen side in result order only if its
+			// earliest tuple postdates the frozen bucket's latest.
+			first := r.order[r.byID[tb.ids[0]]]
+			stream = first.Seq >= fb.tuples[len(fb.tuples)-1].Seq
+		}
+		if !stream {
+			for _, t := range r.Lookup(col, v) {
+				if checksMatchTuple(t, checks) && !fn(t) {
+					return
+				}
+			}
+			return
+		}
+	}
+	if fb != nil {
+		var fc *frozenCols
+		if len(checks) > 0 {
+			fc = fz.columnar()
+		}
+		for i, pos := range fb.poss {
+			if r.fdead > 0 && r.fdelGet(pos) {
+				continue
+			}
+			if fc != nil {
+				if !fc.match(int(pos), checks) {
+					continue
+				}
+			} else if !checksMatchTuple(fb.tuples[i], checks) {
+				continue
+			}
+			if !fn(fb.tuples[i]) {
+				return
+			}
+		}
+	}
+	if tb != nil {
+		for _, id := range tb.ids {
+			t := r.order[r.byID[id]]
+			if checksMatchTuple(t, checks) && !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// ScanChecked calls fn for each live tuple satisfying every check, in Scan
+// order; fn returning false stops the scan. Checks are evaluated on the
+// frozen core's column vectors when the columnar image is available, so a
+// failing frozen row is rejected on flat vectors without touching its
+// tuple.
+func (r *Relation) ScanChecked(checks []ColCheck, fn func(*Tuple) bool) {
+	if len(checks) == 0 {
+		r.Scan(fn)
+		return
+	}
+	var fc *frozenCols
+	fz := r.frozen
+	if fz != nil {
+		fc = fz.columnar() // nil when disabled or the core is empty
+	}
+	if fc != nil {
+		for pos := range fz.order {
+			if r.fdead > 0 && r.fdelGet(int32(pos)) {
+				continue
+			}
+			if !fc.match(pos, checks) {
+				continue
+			}
+			if !fn(fz.order[pos]) {
+				return
+			}
+		}
+		for i, t := range r.order {
+			if !r.live[i] || !checksMatchTuple(t, checks) {
+				continue
+			}
+			if !fn(t) {
+				return
+			}
+		}
+		return
+	}
+	r.Scan(func(t *Tuple) bool {
+		if !checksMatchTuple(t, checks) {
+			return true
+		}
+		return fn(t)
+	})
+}
+
+// ScanRuns calls fn with maximal runs of consecutive live tuples in Scan
+// order — whole frozen-core stretches between deletions, then whole tail
+// stretches between dead slots — so batch consumers iterate plain slices
+// instead of paying a callback per tuple. fn returning false stops the
+// scan. Runs alias internal storage: fn must not retain or mutate them
+// past the call.
+func (r *Relation) ScanRuns(fn func([]*Tuple) bool) {
+	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
+		if r.fdead == 0 {
+			if !fn(fz.order) {
+				return
+			}
+		} else {
+			start := 0
+			for pos := range fz.order {
+				if r.fdelGet(int32(pos)) {
+					if pos > start && !fn(fz.order[start:pos]) {
+						return
+					}
+					start = pos + 1
+				}
+			}
+			if start < len(fz.order) && !fn(fz.order[start:]) {
+				return
+			}
+		}
+	}
+	start := -1
+	for i := range r.order {
+		if r.live[i] {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && !fn(r.order[start:i]) {
+			return
+		}
+		start = -1
+	}
+	if start >= 0 {
+		fn(r.order[start:])
+	}
 }
 
 // compact drops dead IDs from the bucket.
@@ -612,10 +822,10 @@ func (r *Relation) LookupCount(col int, v Value) int {
 	if fz := r.frozen; fz != nil && len(fz.order) > 0 {
 		if b := fz.index(col)[mk]; b != nil {
 			if r.fdead == 0 {
-				n += len(b.ids)
+				n += len(b.tuples)
 			} else {
-				for _, id := range b.ids {
-					if !r.fdelGet(fz.byID[id]) {
+				for _, pos := range b.poss {
+					if !r.fdelGet(pos) {
 						n++
 					}
 				}

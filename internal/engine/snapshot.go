@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -12,19 +13,41 @@ import (
 // a repair session be saved and resumed — including the record of what was
 // already deleted, which CSV export cannot carry.
 
-// snapTuple is the serialized form of one tuple.
+// snapTuple is the serialized form of one tuple (format 1, and the decoded
+// intermediate for every format).
 type snapTuple struct {
 	ID   string
 	Seq  int
 	Vals []Value
 }
 
+// snapVec is one serialized column vector (format 2): integers inline,
+// floats as IEEE-754 bits, strings as indexes into the relation's string
+// table. Kinds is nil when the column is uniformly Kind — the schema-clean
+// common case — so a typical column serializes as one flat []int64.
+type snapVec struct {
+	Kind  byte
+	Kinds []byte // per-row kinds; nil when uniform
+	Data  []int64
+}
+
+// snapCols is the columnar serialized form of one relation side, mirroring
+// the in-memory frozenCols layout: parallel ID/Seq slices, one vector per
+// column, and the string intern table the string cells index into.
+type snapCols struct {
+	IDs  []string
+	Seqs []int
+	Cols []snapVec
+	Strs []string
+}
+
 // snapRelation is the serialized form of one relation schema plus its base
-// and delta contents. BaseIdx/DeltaIdx record which single-column hash
-// indexes were built at save time so LoadSnapshot can pre-warm them —
+// and delta contents — row-oriented (Base/Delta, format 1) or columnar
+// (BaseC/DeltaC, format 2). BaseIdx/DeltaIdx record which single-column
+// hash indexes were built at save time so LoadSnapshot can pre-warm them —
 // restoring into the same steady state instead of paying a first-query
-// latency spike while indexes rebuild lazily. Both fields are optional
-// (older snapshots decode them as nil).
+// latency spike while indexes rebuild lazily. All content fields are
+// optional (other-format snapshots decode them as nil).
 type snapRelation struct {
 	Name     string
 	IDPrefix string
@@ -32,6 +55,8 @@ type snapRelation struct {
 	NextID   int
 	Base     []snapTuple
 	Delta    []snapTuple
+	BaseC    *snapCols
+	DeltaC   *snapCols
 	BaseIdx  []int
 	DeltaIdx []int
 }
@@ -42,13 +67,109 @@ type snapshot struct {
 	Relations []snapRelation
 }
 
-// snapshotFormat is the current snapshot version.
-const snapshotFormat = 1
+// snapshotFormat is the current snapshot version: columnar relation
+// contents. Format-1 (row-oriented) streams still load; Save emits format 1
+// when the columnar paths are disabled, keeping the row encoder alive as
+// the differential reference.
+const snapshotFormat = 2
+
+// encodeSnapCols converts one relation side to columnar serialized form.
+func encodeSnapCols(tuples []*Tuple, arity int) *snapCols {
+	n := len(tuples)
+	sc := &snapCols{
+		IDs:  make([]string, n),
+		Seqs: make([]int, n),
+		Cols: make([]snapVec, arity),
+	}
+	strIdx := make(map[string]int64)
+	for i, t := range tuples {
+		sc.IDs[i], sc.Seqs[i] = t.ID, t.Seq
+	}
+	for col := range sc.Cols {
+		sv := &sc.Cols[col]
+		sv.Data = make([]int64, n)
+		uniform := true
+		for i, t := range tuples {
+			v := t.Vals[col]
+			if i == 0 {
+				sv.Kind = byte(v.Kind)
+			} else if byte(v.Kind) != sv.Kind {
+				uniform = false
+			}
+			switch v.Kind {
+			case KindInt:
+				sv.Data[i] = v.Int
+			case KindFloat:
+				sv.Data[i] = int64(math.Float64bits(v.Flt))
+			default:
+				idx, ok := strIdx[v.Str]
+				if !ok {
+					idx = int64(len(sc.Strs))
+					sc.Strs = append(sc.Strs, v.Str)
+					strIdx[v.Str] = idx
+				}
+				sv.Data[i] = idx
+			}
+		}
+		if !uniform {
+			sv.Kinds = make([]byte, n)
+			for i, t := range tuples {
+				sv.Kinds[i] = byte(t.Vals[col].Kind)
+			}
+		}
+	}
+	return sc
+}
+
+// rows flattens a columnar side back into row-oriented snapTuples.
+func (sc *snapCols) rows(arity int) ([]snapTuple, error) {
+	out := make([]snapTuple, len(sc.IDs))
+	if len(sc.Seqs) != len(sc.IDs) || len(sc.Cols) != arity {
+		return nil, fmt.Errorf("engine: malformed columnar snapshot block")
+	}
+	for _, sv := range sc.Cols {
+		if len(sv.Data) != len(sc.IDs) || (sv.Kinds != nil && len(sv.Kinds) != len(sc.IDs)) {
+			return nil, fmt.Errorf("engine: malformed columnar snapshot vector")
+		}
+	}
+	for i := range out {
+		vals := make([]Value, arity)
+		for c := range vals {
+			sv := &sc.Cols[c]
+			kind := Kind(sv.Kind)
+			if sv.Kinds != nil {
+				kind = Kind(sv.Kinds[i])
+			}
+			switch kind {
+			case KindInt:
+				vals[c] = Value{Kind: KindInt, Int: sv.Data[i]}
+			case KindFloat:
+				// -0.0 normalization happens in sanitizeSnapTuple, shared
+				// with the row decoding path.
+				vals[c] = Value{Kind: KindFloat, Flt: math.Float64frombits(uint64(sv.Data[i]))}
+			case KindString:
+				d := sv.Data[i]
+				if d < 0 || d >= int64(len(sc.Strs)) {
+					return nil, fmt.Errorf("engine: columnar snapshot string index out of range")
+				}
+				vals[c] = Value{Kind: KindString, Str: sc.Strs[d]}
+			default:
+				return nil, fmt.Errorf("engine: columnar snapshot has unknown value kind %d", kind)
+			}
+		}
+		out[i] = snapTuple{ID: sc.IDs[i], Seq: sc.Seqs[i], Vals: vals}
+	}
+	return out, nil
+}
 
 // Save serializes the database (schema, base and delta relations, tuple
 // identifiers and order) to w.
 func (db *Database) Save(w io.Writer) error {
+	columnar := columnarOn.Load()
 	snap := snapshot{Format: snapshotFormat}
+	if !columnar {
+		snap.Format = 1
+	}
 	for _, rs := range db.Schema.Relations {
 		sr := snapRelation{
 			Name:     rs.Name,
@@ -58,14 +179,19 @@ func (db *Database) Save(w io.Writer) error {
 			BaseIdx:  db.base[rs.Name].IndexedColumns(),
 			DeltaIdx: db.delta[rs.Name].IndexedColumns(),
 		}
-		db.base[rs.Name].Scan(func(t *Tuple) bool {
-			sr.Base = append(sr.Base, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
-			return true
-		})
-		db.delta[rs.Name].Scan(func(t *Tuple) bool {
-			sr.Delta = append(sr.Delta, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
-			return true
-		})
+		if columnar {
+			sr.BaseC = encodeSnapCols(db.base[rs.Name].Tuples(), len(rs.Attrs))
+			sr.DeltaC = encodeSnapCols(db.delta[rs.Name].Tuples(), len(rs.Attrs))
+		} else {
+			db.base[rs.Name].Scan(func(t *Tuple) bool {
+				sr.Base = append(sr.Base, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
+				return true
+			})
+			db.delta[rs.Name].Scan(func(t *Tuple) bool {
+				sr.Delta = append(sr.Delta, snapTuple{ID: t.ID, Seq: t.Seq, Vals: t.Vals})
+				return true
+			})
+		}
 		snap.Relations = append(snap.Relations, sr)
 	}
 	return gob.NewEncoder(w).Encode(snap)
@@ -81,6 +207,31 @@ func (db *Database) SaveFile(path string) error {
 	return db.Save(f)
 }
 
+// sanitizeSnapTuple validates one decoded tuple against its relation
+// schema before insertion: gob decodes arbitrary bytes, so arity and
+// value kinds cannot be trusted (Relation.Insert panics on arity
+// mismatches by contract). Float zeros are normalized to +0.0 — gob
+// omits zero-valued struct fields, so -0.0 cannot survive a re-save,
+// and load-time normalization keeps save/load a fixpoint.
+func sanitizeSnapTuple(st *snapTuple, sr *snapRelation) error {
+	if len(st.Vals) != len(sr.Attrs) {
+		return fmt.Errorf("engine: snapshot tuple %q has %d values, relation %s has arity %d",
+			st.ID, len(st.Vals), sr.Name, len(sr.Attrs))
+	}
+	for i := range st.Vals {
+		switch st.Vals[i].Kind {
+		case KindInt, KindString:
+		case KindFloat:
+			if st.Vals[i].Flt == 0 {
+				st.Vals[i].Flt = 0
+			}
+		default:
+			return fmt.Errorf("engine: snapshot tuple %q has unknown value kind %d", st.ID, st.Vals[i].Kind)
+		}
+	}
+	return nil
+}
+
 // LoadSnapshot reconstructs a database from a Save stream. Tuple
 // identifiers, sequence order, and delta contents round-trip exactly.
 func LoadSnapshot(r io.Reader) (*Database, error) {
@@ -88,7 +239,7 @@ func LoadSnapshot(r io.Reader) (*Database, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
 	}
-	if snap.Format != snapshotFormat {
+	if snap.Format != 1 && snap.Format != snapshotFormat {
 		return nil, fmt.Errorf("engine: unsupported snapshot format %d", snap.Format)
 	}
 	schema := NewSchema()
@@ -99,8 +250,30 @@ func LoadSnapshot(r io.Reader) (*Database, error) {
 	}
 	db := NewDatabase(schema)
 	maxSeq := 0
+	for i := range snap.Relations {
+		sr := &snap.Relations[i]
+		// A columnar (format 2) relation flattens back to rows up front;
+		// the insertion path below is shared by both formats.
+		if sr.BaseC != nil {
+			rows, err := sr.BaseC.rows(len(sr.Attrs))
+			if err != nil {
+				return nil, err
+			}
+			sr.Base = rows
+		}
+		if sr.DeltaC != nil {
+			rows, err := sr.DeltaC.rows(len(sr.Attrs))
+			if err != nil {
+				return nil, err
+			}
+			sr.Delta = rows
+		}
+	}
 	for _, sr := range snap.Relations {
 		for _, st := range sr.Base {
+			if err := sanitizeSnapTuple(&st, &sr); err != nil {
+				return nil, err
+			}
 			t := &Tuple{ID: st.ID, Rel: sr.Name, Vals: st.Vals, Seq: st.Seq}
 			db.base[sr.Name].Insert(t)
 			if st.Seq > maxSeq {
@@ -108,6 +281,9 @@ func LoadSnapshot(r io.Reader) (*Database, error) {
 			}
 		}
 		for _, st := range sr.Delta {
+			if err := sanitizeSnapTuple(&st, &sr); err != nil {
+				return nil, err
+			}
 			t := &Tuple{ID: st.ID, Rel: sr.Name, Vals: st.Vals, Seq: st.Seq}
 			db.delta[sr.Name].Insert(t)
 			if st.Seq > maxSeq {

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// The columnar parity suite: every generated scenario and update stream
+// is executed twice — once with the columnar frozen-core read paths
+// forced off (the row-oriented reference) and once forced on — and the
+// results of all four semantics must be byte-identical. This is the
+// oracle for the columnar storage layer: batch probes, pushed-down
+// column checks, zero-copy lookups, and columnar snapshots may change
+// how tuples are visited, never which repair comes out.
+
+// parityModes runs the given group once per storage mode — the
+// row-oriented reference first, then the columnar paths — restoring the
+// prior setting afterwards. The toggle is process-global, so fn must
+// confine its parallel subtests to the group subtest it is handed;
+// t.Run does not return until those subtests finish, which is exactly
+// the barrier the toggle needs.
+func parityModes(t *testing.T, fn func(t *testing.T, columnar bool)) {
+	for _, m := range []struct {
+		name string
+		on   bool
+	}{{"row", false}, {"columnar", true}} {
+		prev := engine.SetColumnarEnabled(m.on)
+		t.Run(m.name, func(t *testing.T) { fn(t, m.on) })
+		engine.SetColumnarEnabled(prev)
+	}
+}
+
+// TestColumnarParityQuick checks scenario parity on the fixed CI seed
+// block: per seed, fork a frozen snapshot and run all four semantics;
+// the columnar pass must reproduce the row pass byte for byte.
+func TestColumnarParityQuick(t *testing.T) {
+	refs := make([][]string, quickScenarios+1) // seed → row-mode keys per semantics
+	parityModes(t, func(t *testing.T, columnar bool) {
+		for seed := int64(1); seed <= quickScenarios; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+				t.Parallel()
+				sc := Generate(seed)
+				snap := sc.DB.Freeze()
+				got := make([]string, len(core.AllSemantics))
+				for i, sem := range core.AllSemantics {
+					res, _, err := core.Run(snap.Fork(), sc.Program, sem)
+					if err != nil {
+						t.Fatalf("seed %d: %s: %v", seed, sem, err)
+					}
+					got[i] = sortedResultKeys(res)
+				}
+				if !columnar {
+					refs[seed] = got
+					return
+				}
+				want := refs[seed]
+				if want == nil {
+					t.Fatalf("seed %d: row-mode reference missing (row pass failed?)", seed)
+				}
+				for i, sem := range core.AllSemantics {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: %s columnar result diverged\ncolumnar: %s\nrow:      %s\nprogram:\n%s",
+							seed, sem, got[i], want[i], sc.ProgramSource)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestColumnarParityUpdateStream checks update-stream parity on the
+// fixed CI seed block: per seed, drive the whole stream through a
+// mutable server session — freeze, fork, incremental updates, version
+// pinning — recording every (version, semantics) answer; the columnar
+// pass must reproduce the row pass byte for byte.
+func TestColumnarParityUpdateStream(t *testing.T) {
+	refs := make([]map[string]string, quickStreams+1) // seed → "v<N>/<sem>" → keys
+	parityModes(t, func(t *testing.T, columnar bool) {
+		for seed := int64(1); seed <= quickStreams; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+				t.Parallel()
+				us := GenerateUpdateStream(seed, streamOps)
+				sc := us.Scenario
+				ctx := context.Background()
+				svc := server.New(server.Config{MaxVersions: us.NumVersions() + 1})
+				if err := svc.Register("s", sc.Schema, sc.DB, sc.Program); err != nil {
+					t.Fatalf("seed %d: register: %v", seed, err)
+				}
+				got := make(map[string]string)
+				record := func(version uint64) {
+					for _, sem := range core.AllSemantics {
+						res, _, gotVer, err := svc.RepairVersioned(ctx, "s", sem, server.RequestOptions{Version: version})
+						if err != nil {
+							t.Fatalf("seed %d v%d: %s: %v", seed, version, sem, err)
+						}
+						if gotVer != version {
+							t.Fatalf("seed %d v%d: repair executed at version %d", seed, version, gotVer)
+						}
+						got[fmt.Sprintf("v%d/%s", version, sem)] = sortedResultKeys(res)
+					}
+				}
+				record(1)
+				version := uint64(1)
+				for i, op := range us.Ops {
+					res, err := svc.Update(ctx, "s", op.Inserts, op.Deletes, server.RequestOptions{})
+					if err != nil {
+						t.Fatalf("seed %d: update %d: %v", seed, i, err)
+					}
+					version = res.Version
+					record(version)
+				}
+				if !columnar {
+					refs[seed] = got
+					return
+				}
+				want := refs[seed]
+				if want == nil {
+					t.Fatalf("seed %d: row-mode reference missing (row pass failed?)", seed)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: columnar pass recorded %d answers, row pass %d", seed, len(got), len(want))
+				}
+				for k, w := range want {
+					if got[k] != w {
+						t.Fatalf("seed %d: %s columnar result diverged\ncolumnar: %s\nrow:      %s\nprogram:\n%s",
+							seed, k, got[k], w, sc.ProgramSource)
+					}
+				}
+			})
+		}
+	})
+}

@@ -24,7 +24,9 @@ type Graph struct {
 	// NumLayers is the maximum layer.
 	NumLayers int
 
-	seen map[string]bool // per-head clause dedup
+	seen       map[string]bool // per-head clause dedup
+	sigBuf     []byte          // reusable dedup-key scratch
+	sigScratch []engine.TupleID
 }
 
 // NewGraph creates an empty provenance graph.
@@ -48,11 +50,11 @@ func (g *Graph) AddDerivation(head engine.TupleID, layer int, c Clause) bool {
 			g.NumLayers = layer
 		}
 	}
-	key := sigKey(head, c)
-	if g.seen[key] {
+	g.sigBuf, g.sigScratch = appendSig(g.sigBuf[:0], g.sigScratch, head, c)
+	if g.seen[string(g.sigBuf)] { // compiler-optimized: no allocation on hit
 		return false
 	}
-	g.seen[key] = true
+	g.seen[string(g.sigBuf)] = true
 	g.Assignments[head] = append(g.Assignments[head], c)
 	return true
 }

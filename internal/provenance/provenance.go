@@ -59,15 +59,18 @@ func appendID(buf []byte, id engine.TupleID) []byte {
 		byte(id>>32), byte(id>>40), byte(id>>48), byte(id>>56))
 }
 
-// canonicalSig appends a canonical byte encoding of the clause content to
-// buf and returns it: sorted Pos IDs, a separator, sorted Neg IDs, each ID
-// as 8 little-endian bytes. Used to deduplicate assignments that bind the
-// same tuple multiset without building content-key strings.
-func (c Clause) canonicalSig(buf []byte) []byte {
+// appendSig appends the canonical dedup key "head | clause content" to
+// buf: the head ID, sorted Pos IDs, a separator, sorted Neg IDs, each ID
+// as 8 little-endian bytes. scratch is reused for sorting the ID runs;
+// both grown slices are returned so callers can recycle them — dedup
+// lookups run once per enumerated assignment, so the key must not allocate
+// on the hit path.
+func appendSig(buf []byte, scratch []engine.TupleID, head engine.TupleID, c Clause) ([]byte, []engine.TupleID) {
+	buf = appendID(buf, head)
 	appendIDs := func(ids []engine.TupleID) {
-		sorted := slices.Clone(ids)
-		slices.Sort(sorted)
-		for _, id := range sorted {
+		scratch = append(scratch[:0], ids...)
+		slices.Sort(scratch)
+		for _, id := range scratch {
 			buf = appendID(buf, id)
 		}
 	}
@@ -77,15 +80,15 @@ func (c Clause) canonicalSig(buf []byte) []byte {
 	// at least 0xfe<<56 — unreachable for the sequential intern counter.
 	buf = append(buf, 0xfe)
 	appendIDs(c.Neg)
-	return buf
+	return buf, scratch
 }
 
 // sigKey builds the dedup map key "head | clause content" as a compact
 // binary string.
 func sigKey(head engine.TupleID, c Clause) string {
 	buf := make([]byte, 0, 24+8*(len(c.Pos)+len(c.Neg)))
-	buf = appendID(buf, head)
-	return string(c.canonicalSig(buf))
+	buf, _ = appendSig(buf, nil, head, c)
+	return string(buf)
 }
 
 // String renders the clause as a conjunction of tuple IDs, e.g.
@@ -112,7 +115,9 @@ type Formula struct {
 	Clauses []Clause
 	Heads   []engine.TupleID
 
-	seen map[string]bool // canonical clause+head dedup
+	seen       map[string]bool // canonical clause+head dedup
+	sigBuf     []byte          // reusable dedup-key scratch
+	sigScratch []engine.TupleID
 }
 
 // NewFormula creates an empty provenance formula.
@@ -123,11 +128,11 @@ func NewFormula() *Formula {
 // Add records the clause deriving head, deduplicating exact repeats. It
 // reports whether the clause was new.
 func (f *Formula) Add(head engine.TupleID, c Clause) bool {
-	key := sigKey(head, c)
-	if f.seen[key] {
+	f.sigBuf, f.sigScratch = appendSig(f.sigBuf[:0], f.sigScratch, head, c)
+	if f.seen[string(f.sigBuf)] { // compiler-optimized: no allocation on hit
 		return false
 	}
-	f.seen[key] = true
+	f.seen[string(f.sigBuf)] = true
 	f.Clauses = append(f.Clauses, c)
 	f.Heads = append(f.Heads, head)
 	return true

@@ -1,7 +1,5 @@
 package sat
 
-import "sort"
-
 // Options configures the Min-Ones search.
 type Options struct {
 	// MaxNodes bounds the number of search nodes; 0 means a generous
@@ -73,6 +71,18 @@ type solver struct {
 	trail    []int32 // assigned vars in order
 	satTrail []int32 // clauses satisfied in order
 
+	// usedStamp/usedEpoch implement the zero-allocation disjointness set for
+	// lowerBound: a variable is "used" iff its stamp equals the current
+	// epoch, and bumping the epoch clears the whole set in O(1). lowerBound
+	// runs at every search node, so a per-call map here dominated the
+	// solver's allocation and hash-probe cost.
+	usedStamp []int64
+	usedEpoch int64
+
+	// litsStack holds per-depth branching-literal scratch, reused across
+	// the whole search (recursion depth d always reuses slot d).
+	litsStack [][]int
+
 	cancel    func() bool
 	weights   []int64
 	costNow   int64
@@ -104,6 +114,7 @@ func newSolver(f *Formula, opts Options) *solver {
 		occNeg:     make([][]int32, n+1),
 		posCount:   make([]int32, n+1),
 		prefRank:   make([]int32, n+1),
+		usedStamp:  make([]int64, n+1),
 	}
 	if s.maxNodes <= 0 {
 		s.maxNodes = DefaultMaxNodes
@@ -175,7 +186,7 @@ func (s *solver) solve() Result {
 		// branch-and-bound prune aggressively and guarantees a good answer
 		// if the node budget runs out mid-search.
 		s.greedyDescent()
-		s.search()
+		s.search(0)
 	}
 	res := Result{
 		Satisfiable: s.foundAny,
@@ -302,7 +313,8 @@ func (s *solver) lowerBound(enough int64) int64 {
 	if enough <= 0 {
 		return 0
 	}
-	used := make(map[int32]bool)
+	s.usedEpoch++
+	epoch := s.usedEpoch
 	var lb int64
 	for ci := s.firstUnsat; ci < len(s.f.clauses); ci++ {
 		c := s.f.clauses[ci]
@@ -322,7 +334,7 @@ func (s *solver) lowerBound(enough int64) int64 {
 			if s.state[l] != 0 {
 				continue
 			}
-			if used[int32(l)] {
+			if s.usedStamp[l] == epoch {
 				disjoint = false
 			}
 		}
@@ -344,7 +356,7 @@ func (s *solver) lowerBound(enough int64) int64 {
 		}
 		for _, l := range c {
 			if l > 0 && s.state[l] == 0 {
-				used[int32(l)] = true
+				s.usedStamp[l] = epoch
 			}
 		}
 	}
@@ -464,7 +476,30 @@ func (s *solver) record() {
 	s.bestAsn = asn
 }
 
-func (s *solver) search() {
+// litLess orders branching literals: negative (free) first, then positive
+// by preference rank, then by weight, then by static occurrence
+// (descending), then by variable index.
+func (s *solver) litLess(li, lj int) bool {
+	ni, nj := li < 0, lj < 0
+	if ni != nj {
+		return ni
+	}
+	vi, vj := abs(li), abs(lj)
+	if !ni { // both positive
+		if s.prefRank[vi] != s.prefRank[vj] {
+			return s.prefRank[vi] < s.prefRank[vj]
+		}
+		if s.weights != nil && s.weight(vi) != s.weight(vj) {
+			return s.weight(vi) < s.weight(vj)
+		}
+		if s.posCount[vi] != s.posCount[vj] {
+			return s.posCount[vi] > s.posCount[vj]
+		}
+	}
+	return vi < vj
+}
+
+func (s *solver) search(depth int) {
 	s.nodes++
 	if s.nodes > s.maxNodes || s.work > s.maxWork {
 		s.exhausted = true
@@ -488,10 +523,13 @@ func (s *solver) search() {
 		s.record()
 		return
 	}
-	// Order the clause's unassigned literals: negative (free) first, then
-	// positive by preference rank, then by static occurrence (descending),
-	// then by variable index.
-	var lits []int
+	// Collect the clause's unassigned literals into this depth's reusable
+	// scratch slot (clauses are short, so the insertion sort below beats a
+	// sort.Slice call — and neither allocates).
+	if depth >= len(s.litsStack) {
+		s.litsStack = append(s.litsStack, nil)
+	}
+	lits := s.litsStack[depth][:0]
 	for _, l := range s.f.clauses[ci] {
 		v := l
 		if v < 0 {
@@ -501,26 +539,12 @@ func (s *solver) search() {
 			lits = append(lits, l)
 		}
 	}
-	sort.Slice(lits, func(i, j int) bool {
-		li, lj := lits[i], lits[j]
-		ni, nj := li < 0, lj < 0
-		if ni != nj {
-			return ni
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && s.litLess(lits[j], lits[j-1]); j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
 		}
-		vi, vj := abs(li), abs(lj)
-		if !ni { // both positive
-			if s.prefRank[vi] != s.prefRank[vj] {
-				return s.prefRank[vi] < s.prefRank[vj]
-			}
-			if s.weights != nil && s.weight(vi) != s.weight(vj) {
-				return s.weight(vi) < s.weight(vj)
-			}
-			if s.posCount[vi] != s.posCount[vj] {
-				return s.posCount[vi] > s.posCount[vj]
-			}
-		}
-		return vi < vj
-	})
+	}
+	s.litsStack[depth] = lits
 	// Branch: literal i true, literals 0..i-1 false.
 	for i, l := range lits {
 		cp := s.mark()
@@ -546,7 +570,7 @@ func (s *solver) search() {
 				ok = s.assignAndPropagate(v, val)
 			}
 			if ok {
-				s.search()
+				s.search(depth + 1)
 			}
 		}
 		s.undoTo(cp)

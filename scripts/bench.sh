@@ -9,11 +9,12 @@
 #   ./scripts/bench.sh --check [go-test args...]   regression gate
 #
 # --check reruns only the key benchmarks, derives the same comparison
-# speedups, and fails (exit 1) if any key speedup dropped more than
-# BENCH_CHECK_TOLERANCE percent (default 25) below the latest committed
-# snapshot. Speedups are ratios of two legs measured in the same run, so
-# they transfer across machines — absolute ns/op does not. No snapshot
-# is written in check mode; CI runs it as the perf smoke.
+# speedups and memory ratios, and fails (exit 1) if any key entry dropped
+# more than BENCH_CHECK_TOLERANCE percent (default 25) below the latest
+# committed snapshot. Speedups and allocation ratios compare two legs
+# measured in the same run, so they transfer across machines — absolute
+# ns/op does not. No snapshot is written in check mode; CI runs it as the
+# perf smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,7 +37,7 @@ trap 'rm -f "$raw" "$json"' EXIT
 
 if [ "$check" = 1 ]; then
     # Key benches only: every leg a checked speedup is derived from.
-    benchre='^(BenchmarkPreparedRepair|BenchmarkForkVsClone|BenchmarkStepSearch|BenchmarkServerThroughput|BenchmarkSessionUpdate)'
+    benchre='^(BenchmarkPreparedRepair|BenchmarkForkVsClone|BenchmarkStepSearch|BenchmarkServerThroughput|BenchmarkSessionUpdate|BenchmarkColumnarVsRow)'
     echo "running key benchmarks for the regression check..."
     go test -bench="$benchre" -benchmem -run='^$' "$@" . > "$raw"
 else
@@ -64,6 +65,8 @@ BEGIN { print "[" }
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
     }
+    if (bytes != "")  by[name] = bytes
+    if (allocs != "") al[name] = allocs
     if (n++) printf ",\n"
     printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", date, name, iters, nsv
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
@@ -77,6 +80,18 @@ function ratio(label, fast, slow) {
             date, label, ns[slow] / ns[fast], ns[fast], ns[slow]
     }
 }
+# Memory-reduction ratios: allocs/op and B/op of the heavy leg over the
+# lean leg measured in the same run (ratio > 1 means the lean leg
+# allocates less). Like speedups, these transfer across machines.
+function memratio(label, lean, heavy) {
+    if (lean in al && heavy in al && al[lean] + 0 > 0 && by[lean] + 0 > 0) {
+        if (n++) printf ",\n"
+        printf "  {\"date\": \"%s\", \"name\": \"%s\", \"alloc_ratio\": %.3f, \"bytes_ratio\": %.3f, " \
+               "\"lean_allocs\": %s, \"heavy_allocs\": %s, \"lean_bytes\": %s, \"heavy_bytes\": %s}", \
+            date, label, al[heavy] / al[lean], by[heavy] / by[lean], \
+            al[lean], al[heavy], by[lean], by[heavy]
+    }
+}
 END {
     ratio("comparison/prepared_vs_unprepared_small", \
           "BenchmarkPreparedRepair/small/prepared", "BenchmarkPreparedRepair/small/unprepared")
@@ -88,6 +103,15 @@ END {
           "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/clone")
     ratio("comparison/step_search", \
           "BenchmarkStepSearch/fork", "BenchmarkStepSearch/clone")
+    # Columnar frozen cores: same end-semantics repair with the columnar
+    # read paths on vs the row-oriented reference, plus the allocation
+    # reduction the zero-copy/batch-probe paths buy.
+    ratio("comparison/columnar_vs_row", \
+          "BenchmarkColumnarVsRow/columnar", "BenchmarkColumnarVsRow/row")
+    memratio("memory/columnar_vs_row", \
+             "BenchmarkColumnarVsRow/columnar", "BenchmarkColumnarVsRow/row")
+    memratio("memory/fork_vs_clone", \
+             "BenchmarkForkVsClone/fork", "BenchmarkForkVsClone/clone")
     # O(changes) scaling evidence, not a speedup: forking (or updating) a
     # 10x larger frozen base should cost ~1x the small-base op.
     ratio("scaling/fork_cost_10x_base", \
@@ -138,11 +162,15 @@ fi
 echo "bench check: comparing against $baseline (tolerance ${BENCH_CHECK_TOLERANCE:-25}%)"
 
 awk -v tol="${BENCH_CHECK_TOLERANCE:-25}" -v baseline="$baseline" -v fresh="$json" '
-function parse(line, arr,    name, val) {
-    if (line !~ /"speedup"/) return
+function parse(line, arr, marr,    name, val) {
     name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
-    val = line; sub(/.*"speedup": /, "", val); sub(/,.*/, "", val)
-    arr[name] = val + 0
+    if (line ~ /"speedup"/) {
+        val = line; sub(/.*"speedup": /, "", val); sub(/,.*/, "", val)
+        arr[name] = val + 0
+    } else if (line ~ /"alloc_ratio"/) {
+        val = line; sub(/.*"alloc_ratio": /, "", val); sub(/,.*/, "", val)
+        marr[name] = val + 0
+    }
 }
 BEGIN {
     # Checked entries: large, stable cross-leg ratios. Deliberately not
@@ -158,10 +186,15 @@ BEGIN {
     # rather than a relative band (the baseline itself is ~1.0).
     scal["scaling/fork_cost_10x_base"] = 1
     scal["scaling/update_cost_10x_base"] = 1
+    # Memory-ratio entries: allocs/op of the heavy leg over the lean leg.
+    # A drop below the baseline band means the lean path started
+    # allocating — the zero-copy/batch-probe machinery regressed.
+    mkeys["memory/columnar_vs_row"] = 1
+    mkeys["memory/fork_vs_clone"] = 1
 
-    while ((getline line < baseline) > 0) parse(line, base)
+    while ((getline line < baseline) > 0) parse(line, base, mbase)
     close(baseline)
-    while ((getline line < fresh) > 0) parse(line, now)
+    while ((getline line < fresh) > 0) parse(line, now, mnow)
     close(fresh)
 
     fail = 0
@@ -173,6 +206,14 @@ BEGIN {
         if (verdict == "REGRESS") fail = 1
         printf "  %-7s %-45s %.3f -> %.3f (floor %.3f)\n", verdict, k, base[k], now[k], floor
     }
+    for (k in mkeys) {
+        if (!(k in mnow)) { printf "  MISSING %-45s (not produced by this run)\n", k; fail = 1; continue }
+        if (!(k in mbase)) { printf "  skip    %-45s (no baseline entry)\n", k; continue }
+        floor = mbase[k] * (1 - tol / 100)
+        verdict = (mnow[k] < floor) ? "REGRESS" : "ok"
+        if (verdict == "REGRESS") fail = 1
+        printf "  %-7s %-45s %.3f -> %.3f allocs ratio (floor %.3f)\n", verdict, k, mbase[k], mnow[k], floor
+    }
     for (k in scal) {
         if (!(k in now)) continue
         ceil = 2.0  # a 10x base must never make the op cost 2x
@@ -180,7 +221,7 @@ BEGIN {
         if (verdict == "REGRESS") fail = 1
         printf "  %-7s %-45s %.3f (ceiling %.3f)\n", verdict, k, now[k], ceil
     }
-    if (fail) { print "bench check FAILED: key speedup regressed beyond tolerance"; exit 1 }
+    if (fail) { print "bench check FAILED: key speedup or memory ratio regressed beyond tolerance"; exit 1 }
     print "bench check passed"
 }
 '
