@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/datalog"
@@ -28,11 +29,15 @@ type deriveConfig struct {
 	// re-evaluates every rule against the full delta contents. Used only
 	// by the evaluation-strategy ablation benchmark; results are identical.
 	naive bool
-	// parallelism sets the per-round rule-evaluation worker count; 0 or 1
-	// evaluates rules sequentially. Results are byte-identical either way:
-	// workers only fill per-rule emit buffers, and the buffers are merged
-	// in deterministic rule-then-enumeration order.
+	// parallelism is the requested shard fan-out, consumed by deriveAuto's
+	// heuristic (see shardWidth); derive itself always runs sequentially.
+	// Results are byte-identical either way: shards partition the work by
+	// hash and the merge replays in global Seq order.
 	parallelism int
+	// shardMin overrides the minimum live base size before deriveAuto
+	// shards: 0 means the default threshold, negative disables the floor
+	// (tests force sharding on tiny databases with it).
+	shardMin int
 	// warmSeeds, when non-nil, switches the loop into warm-continuation
 	// mode (end semantics after insert-only base updates): work's
 	// pre-existing deltas are installed as already-processed old deltas
@@ -61,17 +66,23 @@ type deriveConfig struct {
 // genuinely new assignment uses a frontier delta and the same pass
 // structure is sound.
 //
-// Within a round, rules are independent: every rule reads the same
-// pre-round state (live bases, old deltas, the frontier) and all updates
-// happen after the round. That is what makes per-rule parallel evaluation
-// sound — and the deterministic merge makes it exact, not just
-// set-equivalent. The caller must have pre-built the prepared plans' base
-// index requirements on work (Prepared.WarmIndexes), so evaluation performs
-// no writes on shared relations.
+// derive is strictly sequential; parallel execution happens one level up,
+// in deriveSharded, which runs this whole loop per hash-shard. (The old
+// per-round rule fan-out — workers filling per-rule buffers behind a merge
+// barrier every round — consistently lost to sequential evaluation on
+// real programs and was retired in its favor.)
 func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]*engine.Tuple, int, error) {
 	schema := work.Schema
-	old, frontier := prep.AcquireScratch()
-	defer prep.ReleaseScratch(old, frontier)
+	scr := prep.AcquireScratch()
+	old, frontier := scr.Old, scr.Frontier
+	derivedSet, newSet := scr.Derived, scr.Fresh
+	newHeads := scr.Heads[:0]
+	eligible := scr.Eligible[:0]
+	defer func() {
+		// Hand grown buffers back so the pool keeps their capacity.
+		scr.Heads, scr.Eligible = newHeads, eligible
+		prep.ReleaseScratch(scr)
+	}()
 	for _, rs := range schema.Relations {
 		// Pre-existing deltas seed the frontier (user-initiated deletions,
 		// §3.6) — except in warm-continuation mode, where they are a
@@ -95,14 +106,10 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 	}
 
 	var derivedAll []*engine.Tuple
-	derivedSet := make(map[engine.TupleID]bool)
 	rounds := 0
 
 	ctx := prep.AcquireContext()
 	defer prep.ReleaseContext(ctx)
-
-	var newHeads []*engine.Tuple
-	newSet := make(map[engine.TupleID]bool)
 
 	for round := 1; ; round++ {
 		if err := ctxErr(cfg.ctx); err != nil {
@@ -136,7 +143,7 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 		warmRound := cfg.warmSeeds != nil && round == 1
 		seeded := func(rel string) bool { return cfg.warmSeeds[rel] != nil }
 
-		var eligible []int
+		eligible = eligible[:0]
 		for ri, pr := range prep.Rules {
 			if warmRound {
 				if !pr.ReadsAny(seeded) {
@@ -155,55 +162,23 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			return evalRuleRound(work, prep, ri, cfg.naive, old, frontier, ec, emit)
 		}
 
-		// The warm round runs sequentially even under parallelism: its
-		// plans probe live delta relations, whose indexes build lazily (a
-		// write); the round is tiny — bounded by the inserted tuples — so
-		// there is nothing worth parallelizing anyway.
-		if cfg.parallelism > 1 && len(eligible) > 1 && !warmRound {
-			bufs := make([][]*datalog.Assignment, len(prep.Rules))
-			errs := forEachRuleParallel(prep, cfg.parallelism, eligible,
-				func(ri int, ctx *datalog.ExecContext) error {
-					if err := ctxErr(cfg.ctx); err != nil {
-						return err
-					}
-					emitted := 0
-					return evalOne(ri, ctx,
-						func(asn *datalog.Assignment) bool {
-							bufs[ri] = append(bufs[ri], asn)
-							emitted++
-							return emitted%evalCheckEvery != 0 || ctxErr(cfg.ctx) == nil
-						})
-				})
-			for _, ri := range eligible {
-				if errs[ri] != nil {
-					return nil, rounds, errs[ri]
-				}
-				if err := ctxErr(cfg.ctx); err != nil {
-					return nil, rounds, err
-				}
-				for _, asn := range bufs[ri] {
-					process(prep.Rules[ri].Rule, asn)
-				}
+		for _, ri := range eligible {
+			if err := ctxErr(cfg.ctx); err != nil {
+				return nil, rounds, err
 			}
-		} else {
-			for _, ri := range eligible {
-				if err := ctxErr(cfg.ctx); err != nil {
-					return nil, rounds, err
-				}
-				rule := prep.Rules[ri].Rule
-				emitted := 0
-				err := evalOne(ri, ctx,
-					func(asn *datalog.Assignment) bool {
-						process(rule, asn)
-						emitted++
-						return emitted%evalCheckEvery != 0 || ctxErr(cfg.ctx) == nil
-					})
-				if err != nil {
-					return nil, rounds, err
-				}
-				if err := ctxErr(cfg.ctx); err != nil {
-					return nil, rounds, err
-				}
+			rule := prep.Rules[ri].Rule
+			emitted := 0
+			err := evalOne(ri, ctx,
+				func(asn *datalog.Assignment) bool {
+					process(rule, asn)
+					emitted++
+					return emitted%evalCheckEvery != 0 || ctxErr(cfg.ctx) == nil
+				})
+			if err != nil {
+				return nil, rounds, err
+			}
+			if err := ctxErr(cfg.ctx); err != nil {
+				return nil, rounds, err
 			}
 		}
 
@@ -239,15 +214,150 @@ func derive(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]
 			}
 			work.Delta(head.Rel).Insert(head)
 		}
-		if cfg.shrinkBases && cfg.parallelism > 1 {
-			// Flush index staleness left by the base deletions so the next
-			// round's concurrent lookups perform no bucket compaction.
-			for _, head := range newHeads {
-				work.Relation(head.Rel).SyncIndexes()
-			}
-		}
 	}
 	return derivedAll, rounds, nil
+}
+
+// defaultShardMinTuples is the live-base size below which deriveAuto never
+// shards: fork + partition-bitmap setup costs a few microseconds per
+// relation, which only amortizes once the fixpoint has real work.
+const defaultShardMinTuples = 2048
+
+// deriveAuto runs the seminaive fixpoint, hash-sharded across
+// cfg.parallelism workers when the co-partitioning analysis proved the
+// program shard-local and the database is big enough to amortize shard
+// setup; otherwise plain sequential derive. Results are byte-identical
+// either way.
+func deriveAuto(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) ([]*engine.Tuple, int, error) {
+	if p := shardWidth(work, prep, cfg); p > 1 {
+		return deriveSharded(work, prep, cfg, p)
+	}
+	return derive(work, prep, cfg)
+}
+
+// shardWidth is the auto-parallelism heuristic: the effective shard count
+// for this derivation, or 0 to run sequentially. Sharding engages only
+// when the caller asked for parallelism, the program is shard-local under
+// the co-partitioning analysis, the run does not capture provenance (the
+// graph records global rounds-and-layers structure, so capture paths stay
+// sequential) or use naive evaluation (the ablation measures the reference
+// strategy), and the live base is large enough that shard setup amortizes.
+func shardWidth(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) int {
+	p := cfg.parallelism
+	if p <= 1 || cfg.capture != nil || cfg.naive || !prep.Shardable() {
+		return 0
+	}
+	if p > engine.MaxShards {
+		p = engine.MaxShards
+	}
+	floor := cfg.shardMin
+	if floor == 0 {
+		floor = defaultShardMinTuples
+	}
+	if floor > 0 && work.TotalTuples() < floor {
+		return 0
+	}
+	return p
+}
+
+// deriveSharded runs the entire seminaive fixpoint shard-locally on p
+// hash-partitions of work and merges once at the end.
+//
+// Soundness and exactness: every rule is shard-local (shardWidth checked
+// prep.Shardable), meaning under the partition-key assignment κ every
+// assignment of every rule binds derived-relation tuples whose κ-column
+// values are equal — so the assignment is visible, in full, to exactly the
+// shard owning that value, and to no other (replicated relations are
+// present everywhere and impose no constraint). By induction over rounds,
+// each shard's round-r frontier is exactly the κ-owned slice of the
+// sequential round-r frontier: round 1 seeds are partitioned by κ, and a
+// round r+1 derivation exists in shard s iff its body tuples do, iff the
+// sequential derivation's head hashes to s. Hence the union of shard
+// fixpoints equals the sequential fixpoint, per-shard dedup is global
+// dedup (heads stay in their owner shard), and the maximum shard round
+// count equals the sequential round count. The merge replays derived heads
+// in global Seq order — the canonical order every consumer normalizes to
+// (newResult sorts Deleted by Seq) — so results are byte-identical to
+// sequential execution.
+//
+// Each shard is a copy-on-write fork whose deletion bitmaps hide the rows
+// other shards own (no tuple copies; columnar probes stay columnar), with
+// its own pooled scratch, running the full fixpoint with zero cross-shard
+// coordination. Frozen-side index and columnar builds are shared across
+// shards behind the snapshot's mutex-and-atomic-publish discipline;
+// WarmSeminaiveIndexes pre-builds the probed ones so shards do not contend
+// building them mid-join.
+func deriveSharded(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig, p int) ([]*engine.Tuple, int, error) {
+	snap := work.Freeze()
+	prep.WarmSeminaiveIndexes(work)
+	keys := prep.PartitionKeys()
+	shards := snap.ShardForks(p, keys)
+
+	derived := make([][]*engine.Tuple, p)
+	rounds := make([]int, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scfg := cfg
+			scfg.parallelism = 0
+			if cfg.warmSeeds != nil {
+				scfg.warmSeeds = shardSeeds(cfg.warmSeeds, keys, i, p)
+			}
+			derived[i], rounds[i], errs[i] = derive(shards[i], prep, scfg)
+		}(i)
+	}
+	wg.Wait()
+	maxRounds, total := 0, 0
+	for i := 0; i < p; i++ {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		if rounds[i] > maxRounds {
+			maxRounds = rounds[i]
+		}
+		total += len(derived[i])
+	}
+
+	// Merge: concatenate the disjoint shard outputs, restore the global
+	// derivation order by Seq, and replay the head installs on the parent
+	// (deltas always; base shrinking only under stage semantics, mirroring
+	// what derive did inside each shard).
+	merged := make([]*engine.Tuple, 0, total)
+	for i := 0; i < p; i++ {
+		merged = append(merged, derived[i]...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Seq < merged[b].Seq })
+	for _, t := range merged {
+		if cfg.shrinkBases {
+			work.Relation(t.Rel).DeleteTuple(t)
+		}
+		work.Delta(t.Rel).Insert(t)
+	}
+	return merged, maxRounds, nil
+}
+
+// shardSeeds splits warm-start insert seeds for one shard: relations with
+// a partition key keep only the tuples hashing to the shard; seeds over
+// replicated (unkeyed) relations are copied whole. Every shard gets
+// private seed relations — evaluation may lazily build indexes on them, a
+// write that must not be shared across shard goroutines.
+func shardSeeds(seeds map[string]*engine.Relation, keys map[string]int, shard, p int) map[string]*engine.Relation {
+	out := make(map[string]*engine.Relation, len(seeds))
+	for name, src := range seeds {
+		col, keyed := keys[name]
+		dst := engine.NewScratchRelation(name, src.Arity)
+		src.Scan(func(t *engine.Tuple) bool {
+			if !keyed || engine.ShardOf(t.Vals[col], p) == shard {
+				dst.Insert(t)
+			}
+			return true
+		})
+		out[name] = dst
+	}
+	return out
 }
 
 // forEachRuleParallel runs eval(ri, ctx) for every listed rule on a pool

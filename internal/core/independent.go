@@ -206,7 +206,7 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 	// steering equal-cost optima toward sets other semantics contain.
 	var prefer []int
 	if !opts.DisablePreferDerivable {
-		if _, _, graph, err := runEndCaptured(ctx, db, prep, true, par); err == nil {
+		if _, _, graph, err := runEndCaptured(ctx, db, prep, true, par, 0); err == nil {
 			heads := append([]engine.TupleID(nil), graph.Heads...)
 			idx := make(map[engine.TupleID]int, len(heads))
 			for i, h := range heads {
@@ -277,7 +277,7 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 	}
 	// Safety net: the satisfying assignment must stabilize (correctness of
 	// Algorithm 1); verify and fail loudly rather than return a bad repair.
-	stable, err := CheckStableP(work, prep)
+	stable, err := CheckStableParCtx(ctx, work, prep, par)
 	if err != nil {
 		return nil, nil, err
 	}

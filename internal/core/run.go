@@ -13,12 +13,20 @@ import (
 type Options struct {
 	// Independent configures Algorithm 1 when sem == SemIndependent.
 	Independent IndependentOptions
-	// Parallelism sets the per-round rule-evaluation worker count inside
-	// the executors (seminaive derivation and Algorithm 1's provenance
-	// sweep); 0 or 1 evaluates sequentially. Results are byte-identical to
-	// sequential execution: workers fill per-rule buffers that are merged
-	// in deterministic rule-then-enumeration order.
+	// Parallelism sets the evaluation worker count; 0 or 1 evaluates
+	// sequentially. Seminaive derivation (end and stage semantics) uses it
+	// as the shard fan-out for hash-sharded evaluation, engaging only when
+	// the co-partitioning analysis proved the program shard-local and the
+	// base clears the size threshold (small sessions never pay shard
+	// setup); Algorithm 1's provenance sweep and the parallel stability
+	// probe fan out per rule. Results are byte-identical to sequential
+	// execution either way.
 	Parallelism int
+	// ShardMinTuples overrides the minimum live base size before sharded
+	// derivation engages: 0 keeps the default threshold (2048 tuples),
+	// negative removes the floor entirely (differential tests use this to
+	// force sharding on small databases).
+	ShardMinTuples int
 	// Prepared supplies a pre-compiled execution plan (datalog.Prepare) so
 	// repeated runs amortize validation and join planning. It must have
 	// been prepared from the same program passed to RunWith. Nil means
@@ -93,12 +101,12 @@ func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Option
 	}
 	switch sem {
 	case SemEnd:
-		if res, work, ok, err := runEndWarm(opts.Ctx, db, prep, opts.Parallelism, opts.Warm); ok || err != nil {
+		if res, work, ok, err := runEndWarm(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples, opts.Warm); ok || err != nil {
 			return res, work, err
 		}
-		return runEnd(opts.Ctx, db, prep, opts.Parallelism)
+		return runEnd(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples)
 	case SemStage:
-		return runStage(opts.Ctx, db, prep, opts.Parallelism)
+		return runStage(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples)
 	case SemStep:
 		return runStepGreedy(opts.Ctx, db, prep, opts.Parallelism, StepGreedyOptions{})
 	case SemIndependent:

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/engine"
+	"repro/internal/mas"
+	"repro/internal/programs"
+)
+
+// runSharded executes one semantics sequentially and with hash-sharded
+// derivation (4 shards, no size floor) over the same prepared program and
+// checks the results are byte-identical — same set, same deletion order,
+// same round count.
+func runSharded(t *testing.T, label string, db *engine.Database, p *datalog.Program, prep *datalog.Prepared) {
+	t.Helper()
+	indOpts := IndependentOptions{MaxNodes: 150000}
+	for _, sem := range AllSemantics {
+		seq, _, err := RunWith(db, p, sem, Options{Prepared: prep, Independent: indOpts})
+		if err != nil {
+			t.Fatalf("%s/%s sequential: %v", label, sem, err)
+		}
+		shd, _, err := RunWith(db, p, sem, Options{Prepared: prep, Independent: indOpts, Parallelism: 4, ShardMinTuples: -1})
+		if err != nil {
+			t.Fatalf("%s/%s sharded: %v", label, sem, err)
+		}
+		assertIdentical(t, label, sem, seq, shd)
+	}
+}
+
+// TestShardedDerivationMatchesSequentialMAS runs all 20 MAS programs with
+// Parallelism: 4 and the shard size floor removed, asserting every
+// semantics produces the same stabilizing set in the same deletion order
+// as sequential execution — regardless of whether the co-partitioning
+// analysis admits sharding (non-shardable programs must fall back
+// cleanly). Run with -race to exercise the per-shard goroutines.
+func TestShardedDerivationMatchesSequentialMAS(t *testing.T) {
+	ds := mas.Generate(mas.Config{Scale: 0.01, Seed: 1})
+	for n := 1; n <= 20; n++ {
+		p, err := programs.MAS(n, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := datalog.Prepare(p, ds.DB.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSharded(t, fmt.Sprintf("MAS-%d", n), ds.DB, p, prep)
+	}
+}
+
+// TestShardedDerivationMatchesSequentialRunningExample covers the paper's
+// running example (Figure 1) under the same sharded-vs-sequential check.
+func TestShardedDerivationMatchesSequentialRunningExample(t *testing.T) {
+	db := programs.RunningExampleDB()
+	p, err := programs.RunningExampleProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := datalog.Prepare(p, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSharded(t, "running-example", db, p, prep)
+}
+
+// TestMASShardabilityClassification pins the co-partitioning verdict for
+// every MAS program. The split is structural, so a change here means the
+// analysis (or a program definition) changed — update deliberately.
+// Programs whose rules join the derived relation on rotating or swapped
+// columns (the citation/collaboration cascades) are not co-partitionable;
+// the author/publication lookup shapes are.
+func TestMASShardabilityClassification(t *testing.T) {
+	wantShardable := map[int]bool{
+		1: true, 2: true, 3: true, 4: true, 5: true,
+		6: false, 7: false, 8: false, 9: false, 10: false,
+		11: true, 12: true, 13: true, 14: true, 15: true,
+		16: true, 17: true,
+		18: false, 19: false, 20: false,
+	}
+	ds := mas.Generate(mas.Config{Scale: 0.01, Seed: 1})
+	got := make(map[int]bool)
+	for n := 1; n <= 20; n++ {
+		p, err := programs.MAS(n, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := datalog.Prepare(p, ds.DB.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[n] = prep.Shardable()
+	}
+	for n := 1; n <= 20; n++ {
+		if got[n] != wantShardable[n] {
+			t.Errorf("MAS-%d shardable = %v, want %v (full map: %v)", n, got[n], wantShardable[n], got)
+		}
+	}
+}
+
+// TestShardedWarmContinuation covers the interaction of sharding with the
+// end-semantics fixpoint continuation: after an insert-only update, the
+// warm path seeds the frontier with the inserted tuples, and the sharded
+// executor must partition those seeds by the same keys as the frozen
+// cores. Both legs receive identical warm hints on the same lineage, so
+// results must be byte-identical.
+func TestShardedWarmContinuation(t *testing.T) {
+	ds := mas.Generate(mas.Config{Scale: 0.01, Seed: 3})
+	p, err := programs.MAS(15, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := datalog.Prepare(p, ds.DB.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Shardable() {
+		t.Fatal("MAS-15 must be shardable for this test to exercise sharded warm continuation")
+	}
+
+	// Rebuild the dataset holding back a few rows of a read-set relation,
+	// so re-inserting them is a genuine insert-only update on one lineage.
+	var holdRel string
+	for _, rs := range ds.DB.Schema.Relations {
+		if prep.Reads(rs.Name) && ds.DB.Relation(rs.Name).Len() >= 4 {
+			holdRel = rs.Name
+			break
+		}
+	}
+	if holdRel == "" {
+		t.Fatal("no read-set relation with enough rows to hold back")
+	}
+	db := engine.NewDatabase(ds.DB.Schema)
+	var heldBack [][]engine.Value
+	for _, rs := range ds.DB.Schema.Relations {
+		rows := ds.DB.Relation(rs.Name).Tuples()
+		for i, tp := range rows {
+			if rs.Name == holdRel && i >= len(rows)-2 {
+				heldBack = append(heldBack, tp.Vals)
+				continue
+			}
+			db.MustInsert(rs.Name, tp.Vals...)
+		}
+	}
+
+	prev, _, err := RunWith(db, p, SemEnd, Options{Prepared: prep})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inserted := make([]*engine.Tuple, 0, len(heldBack))
+	for _, vals := range heldBack {
+		inserted = append(inserted, db.MustInsert(holdRel, vals...))
+	}
+	warm := &WarmStart{
+		PrevResult:  prev,
+		ChangedRels: []string{holdRel},
+		Inserted:    map[string][]*engine.Tuple{holdRel: inserted},
+		InsertOnly:  true,
+	}
+
+	seq, _, err := RunWith(db, p, SemEnd, Options{Prepared: prep, Warm: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, _, err := RunWith(db, p, SemEnd, Options{Prepared: prep, Warm: warm, Parallelism: 4, ShardMinTuples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "warm-continuation", SemEnd, seq, shd)
+
+	// The warm answer must also match a cold run on the updated database.
+	cold, _, err := RunWith(db, p, SemEnd, Options{Prepared: prep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "warm-vs-cold", SemEnd, cold, seq)
+}
+
+// TestCheckStableParCtxMatchesSequential: the per-rule parallel stability
+// probe must return the same verdict as the sequential probe, both on
+// unstable inputs and on repaired (stable) instances.
+func TestCheckStableParCtxMatchesSequential(t *testing.T) {
+	ds := mas.Generate(mas.Config{Scale: 0.01, Seed: 1})
+	for _, n := range []int{1, 10, 20} {
+		p, err := programs.MAS(n, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := datalog.Prepare(p, ds.DB.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqStable, err := CheckStableP(ds.DB, prep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parStable, err := CheckStableParCtx(nil, ds.DB, prep, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqStable != parStable {
+			t.Fatalf("MAS-%d: parallel stability %v, sequential %v", n, parStable, seqStable)
+		}
+		_, repaired, err := RunWith(ds.DB, p, SemEnd, Options{Prepared: prep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stable, err := CheckStableParCtx(nil, repaired, prep, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stable {
+			t.Fatalf("MAS-%d: repaired instance reported unstable by parallel probe", n)
+		}
+	}
+}

@@ -20,18 +20,13 @@ func RunStage(db *engine.Database, p *datalog.Program) (*Result, *engine.Databas
 	if err != nil {
 		return nil, nil, err
 	}
-	return runStage(nil, db, prep, 0)
+	return runStage(nil, db, prep, 0, 0)
 }
 
-func runStage(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int) (*Result, *engine.Database, error) {
+func runStage(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par, shardMin int) (*Result, *engine.Database, error) {
 	work := db.Fork()
-	if par > 1 {
-		// Parallel rule evaluation reads base relations concurrently: build
-		// the probed indexes up front so lookups perform no writes.
-		prep.WarmSeminaiveIndexes(work)
-	}
 	start := time.Now()
-	derived, rounds, err := derive(work, prep, deriveConfig{shrinkBases: true, parallelism: par, ctx: ctx})
+	derived, rounds, err := deriveAuto(work, prep, deriveConfig{shrinkBases: true, parallelism: par, shardMin: shardMin, ctx: ctx})
 	evalDur := time.Since(start)
 	if err != nil {
 		return nil, nil, err

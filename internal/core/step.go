@@ -48,7 +48,7 @@ func RunStepGreedyWithOptions(db *engine.Database, p *datalog.Program, opts Step
 
 func runStepGreedy(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts StepGreedyOptions) (*Result, *engine.Database, error) {
 	// Phase 1 (Eval): end run with provenance capture.
-	endRes, _, graph, err := runEndCaptured(ctx, db, prep, true, par)
+	endRes, _, graph, err := runEndCaptured(ctx, db, prep, true, par, 0)
 	if err != nil {
 		return nil, nil, err
 	}

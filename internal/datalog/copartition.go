@@ -1,0 +1,286 @@
+package datalog
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Co-partitioning analysis: the static pass behind sharded parallel
+// evaluation. The seminaive fixpoint is embarrassingly parallel when the
+// data can be hash-partitioned so that every assignment of every rule binds
+// tuples of a single partition: each shard then runs the entire fixpoint
+// locally, with no cross-shard coordination and a single deterministic
+// merge at the end. Whether such a partitioning exists is a property of the
+// program alone, so Prepare computes it once and bakes the verdict into the
+// plan shapes.
+//
+// The analysis works over (relation, column) pairs. Relations that appear
+// in some rule head are *derived*: their contents (base and delta side)
+// must be split across shards, so each needs a partition key column κ(R).
+// Relations never derived are *replicated*: a copy-on-write fork shares
+// their frozen cores with every shard for free, so they impose no
+// constraint. A rule is then shard-local under κ iff the value at the head
+// relation's key column determines the value at κ(Q) for every derived
+// relation Q its body touches — syntactically, the head term at κ(head)
+// and the body term at κ(Q) are the same variable (or equal constants).
+// The self atom (Def. 3.1) guarantees the head's terms all appear in the
+// body, so the partition value is always bound.
+//
+// Finding κ has two stages. First a greatest-fixpoint pruning shrinks each
+// derived relation's candidate-column set: column c of R survives iff, in
+// every rule deriving R, every derived body atom has *some* candidate
+// column co-keyed with the head term at c — propagating partition-key
+// candidates through heads exactly as recursion demands (a candidate dies
+// when any deriving rule cannot co-locate it, and its death cascades to
+// candidates that depended on it). A relation whose candidate set empties
+// is *non-partitionable*. Then a deterministic backtracking search picks
+// one globally consistent assignment from the surviving candidates
+// (relations in name order, columns ascending); rules whose relations all
+// carry keys and whose key terms line up are ShardLocal, everything else is
+// Shard0.
+
+// ShardMode classifies how one rule behaves under sharded evaluation.
+type ShardMode int
+
+const (
+	// ShardLocal: under the program's partition-key assignment, every
+	// assignment of the rule binds tuples of a single hash shard, so the
+	// rule can run on every shard against its local partition.
+	ShardLocal ShardMode = iota
+	// Shard0: the rule joins derived relations on non-key columns (or
+	// touches a non-partitionable relation), so its assignments may span
+	// shards. Plans containing such rules run sequentially — the sharded
+	// executor declines to shard them.
+	Shard0
+)
+
+// String returns the mode name.
+func (m ShardMode) String() string {
+	if m == ShardLocal {
+		return "shard-local"
+	}
+	return "shard0"
+}
+
+// Partitioning is the co-partitioning verdict for one program.
+type Partitioning struct {
+	// Keys maps each partitionable derived relation to its partition key
+	// column: hash-splitting the relation (base and delta cores) on that
+	// column keeps every ShardLocal rule's assignments within one shard.
+	Keys map[string]int
+	// Replicated lists the referenced relations that are never derived,
+	// sorted. They are broadcast whole to every shard (zero-copy: shards
+	// are copy-on-write forks sharing the frozen cores).
+	Replicated []string
+	// NonPartitionable lists the derived relations with no viable key
+	// column, sorted. Rules touching them cannot run shard-local.
+	NonPartitionable []string
+	// Shardable reports that every rule is ShardLocal: the whole fixpoint
+	// can run shard-local and merge once at the end.
+	Shardable bool
+}
+
+// copartitionSearchBudget bounds the backtracking key search. Real
+// programs have a handful of derived relations with one or two surviving
+// candidates each; the budget only exists so a pathological generated
+// program degrades to the (sound) Shard0 fallback instead of stalling
+// Prepare.
+const copartitionSearchBudget = 4096
+
+// coKeyed reports whether two terms are statically known to carry equal
+// values in every assignment: the same variable, or equal constants.
+func coKeyed(a, b Term) bool {
+	if a.IsVar() || b.IsVar() {
+		return a.IsVar() && b.IsVar() && a.Var == b.Var
+	}
+	return a.Const.Equal(b.Const)
+}
+
+// analyzePartitioning classifies the program's relations and rules for
+// sharded evaluation. The returned modes slice parallels p.Rules.
+func analyzePartitioning(p *Program, schema *engine.Schema) (*Partitioning, []ShardMode) {
+	derived := make(map[string]bool)
+	for _, r := range p.Rules {
+		derived[r.Head.Rel] = true
+	}
+
+	// Candidate key columns per derived relation, shrunk to the greatest
+	// fixpoint of: column c of R survives iff every rule deriving R can
+	// co-locate it — each derived body atom has some surviving candidate
+	// column co-keyed with the head term at c.
+	viable := make(map[string]map[int]bool, len(derived))
+	for rel := range derived {
+		rs := schema.Relation(rel)
+		cols := make(map[int]bool)
+		if rs != nil {
+			for c := 0; c < rs.Arity(); c++ {
+				cols[c] = true
+			}
+		}
+		viable[rel] = cols
+	}
+	supported := func(ht Term, a Atom) bool {
+		for c := range viable[a.Rel] {
+			if coKeyed(ht, a.Terms[c]) {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			hv := viable[r.Head.Rel]
+			for c := range hv {
+				ok := true
+				for _, a := range r.Body {
+					if !derived[a.Rel] {
+						continue
+					}
+					if !supported(r.Head.Terms[c], a) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					delete(hv, c)
+					changed = true
+				}
+			}
+		}
+	}
+
+	part := &Partitioning{Keys: make(map[string]int)}
+	referenced := make(map[string]bool)
+	for _, r := range p.Rules {
+		referenced[r.Head.Rel] = true
+		for _, a := range r.Body {
+			referenced[a.Rel] = true
+		}
+	}
+	for rel := range referenced {
+		if !derived[rel] {
+			part.Replicated = append(part.Replicated, rel)
+		}
+	}
+	sort.Strings(part.Replicated)
+	keyed := make([]string, 0, len(derived)) // partitionable derived rels, name order
+	for rel := range derived {
+		if len(viable[rel]) == 0 {
+			part.NonPartitionable = append(part.NonPartitionable, rel)
+		} else {
+			keyed = append(keyed, rel)
+		}
+	}
+	sort.Strings(part.NonPartitionable)
+	sort.Strings(keyed)
+
+	// A rule is eligible for a shard-local plan only if every derived
+	// relation it touches still has candidates; ineligible rules are Shard0
+	// regardless of κ and must not constrain the key search.
+	eligible := make([]bool, len(p.Rules))
+	for i, r := range p.Rules {
+		ok := len(viable[r.Head.Rel]) > 0
+		for _, a := range r.Body {
+			if derived[a.Rel] && len(viable[a.Rel]) == 0 {
+				ok = false
+			}
+		}
+		eligible[i] = ok
+	}
+
+	// ruleLocalUnder reports whether rule r's key terms line up under the
+	// partial assignment: the head term at κ(head) must be co-keyed with
+	// the term at κ(Q) of every derived body atom whose key is assigned.
+	// With a full assignment this is exactly the shard-local condition.
+	ruleLocalUnder := func(r *Rule, assign map[string]int) bool {
+		hk, ok := assign[r.Head.Rel]
+		if !ok {
+			return true // head key unassigned: nothing to check yet
+		}
+		ht := r.Head.Terms[hk]
+		for _, a := range r.Body {
+			if !derived[a.Rel] {
+				continue
+			}
+			bk, ok := assign[a.Rel]
+			if !ok {
+				continue
+			}
+			if !coKeyed(ht, a.Terms[bk]) {
+				return false
+			}
+		}
+		return true
+	}
+	consistent := func(assign map[string]int) bool {
+		for i, r := range p.Rules {
+			if eligible[i] && !ruleLocalUnder(r, assign) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Deterministic backtracking over the surviving candidates: relations
+	// in name order, columns ascending, pruning on the rules constraining
+	// already-assigned relations.
+	assign := make(map[string]int, len(keyed))
+	nodes := 0
+	var solve func(i int) bool
+	solve = func(i int) bool {
+		if i == len(keyed) {
+			return true
+		}
+		rel := keyed[i]
+		cols := make([]int, 0, len(viable[rel]))
+		for c := range viable[rel] {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			nodes++
+			if nodes > copartitionSearchBudget {
+				return false
+			}
+			assign[rel] = c
+			if consistent(assign) && solve(i+1) {
+				return true
+			}
+		}
+		delete(assign, rel)
+		return false
+	}
+	solved := solve(0)
+	if !solved {
+		// No globally consistent key survives (or the search budget ran
+		// out): fall back to the lowest candidate per relation so the
+		// verdict still names a key per partitionable relation, and let the
+		// per-rule check below demote the rules that conflict.
+		for _, rel := range keyed {
+			best := -1
+			for c := range viable[rel] {
+				if best < 0 || c < best {
+					best = c
+				}
+			}
+			assign[rel] = best
+		}
+	}
+	for rel, c := range assign {
+		part.Keys[rel] = c
+	}
+
+	modes := make([]ShardMode, len(p.Rules))
+	part.Shardable = true
+	for i, r := range p.Rules {
+		if eligible[i] && ruleLocalUnder(r, part.Keys) {
+			modes[i] = ShardLocal
+		} else {
+			modes[i] = Shard0
+			part.Shardable = false
+		}
+	}
+	return part, modes
+}

@@ -64,6 +64,12 @@ type PreparedRule struct {
 	// positive), so the union over these passes covers exactly the new work.
 	insertPasses []*plan
 
+	// Shard is the rule's mode under sharded parallel evaluation, from the
+	// co-partitioning analysis (see copartition.go): ShardLocal rules can
+	// run on every shard against its local partition; a plan containing any
+	// Shard0 rule is evaluated sequentially.
+	Shard ShardMode
+
 	// deltaIdx holds the body indexes of the rule's delta atoms, in order.
 	deltaIdx []int
 	// baseIdx holds the body indexes of the rule's base atoms, in order.
@@ -131,6 +137,11 @@ type Prepared struct {
 	// this to skip re-derivation entirely after such updates.
 	readSet    map[string]bool
 	readSorted []string
+
+	// part is the co-partitioning verdict for the program: partition keys
+	// for the derived relations, replicated relations, and whether every
+	// rule is shard-local (see copartition.go).
+	part *Partitioning
 
 	ctxPool     sync.Pool
 	scratchPool sync.Pool
@@ -269,6 +280,11 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 		pp.readSorted = append(pp.readSorted, rel)
 	}
 	sort.Strings(pp.readSorted)
+	part, modes := analyzePartitioning(p, schema)
+	pp.part = part
+	for i, m := range modes {
+		pp.Rules[i].Shard = m
+	}
 	pp.ctxPool.New = func() any { return NewExecContext() }
 	pp.scratchPool.New = func() any { return pp.newScratch() }
 	return pp, nil
@@ -277,6 +293,19 @@ func Prepare(p *Program, schema *engine.Schema) (*Prepared, error) {
 // IndexReqs returns the declared index requirements, deduplicated, in
 // first-use order.
 func (pp *Prepared) IndexReqs() []IndexReq { return pp.reqs }
+
+// Partitioning returns the co-partitioning verdict computed at Prepare
+// time. Callers must not mutate the returned struct.
+func (pp *Prepared) Partitioning() *Partitioning { return pp.part }
+
+// Shardable reports whether every rule is shard-local under the program's
+// partition-key assignment, i.e. the whole seminaive fixpoint can run
+// hash-sharded with a single merge at the end.
+func (pp *Prepared) Shardable() bool { return pp.part.Shardable }
+
+// PartitionKeys returns the partition key column per partitionable derived
+// relation. Callers must not mutate the returned map.
+func (pp *Prepared) PartitionKeys() map[string]int { return pp.part.Keys }
 
 // ReadSet returns the relations any rule body references (base or delta
 // side), sorted. A base-table update confined to relations outside this
@@ -390,53 +419,68 @@ func (pp *Prepared) AcquireContext() *ExecContext { return pp.ctxPool.Get().(*Ex
 // ReleaseContext returns a context to the pool.
 func (pp *Prepared) ReleaseContext(ctx *ExecContext) { pp.ctxPool.Put(ctx) }
 
-// scratch is a recycled set of seminaive old/frontier relations, one pair
-// per schema relation, with the plans' scratch index requirements
-// pre-registered so inserts maintain them incrementally.
-type scratch struct {
-	old, frontier map[string]*engine.Relation
+// Scratch is the recycled per-derivation state of one seminaive fixpoint:
+// the old/frontier relation pair per schema relation (with the plans'
+// scratch index requirements pre-registered so inserts maintain them
+// incrementally), plus the round-recycled dedup sets and buffers the
+// derivation loop needs. Pooling the whole bundle means repeated
+// derivations — and each shard of a sharded run — allocate near-zero.
+type Scratch struct {
+	// Old and Frontier are the seminaive scratch relations, keyed by
+	// relation name: Old holds deltas from completed rounds, Frontier the
+	// current round's.
+	Old, Frontier map[string]*engine.Relation
+	// Derived dedups heads across rounds; Fresh dedups within one round.
+	Derived, Fresh map[engine.TupleID]bool
+	// Heads buffers one round's newly derived head tuples.
+	Heads []*engine.Tuple
+	// Eligible buffers the rule indexes evaluated in one round.
+	Eligible []int
 }
 
-func (pp *Prepared) newScratch() *scratch {
-	s := &scratch{
-		old:      make(map[string]*engine.Relation, len(pp.Schema.Relations)),
-		frontier: make(map[string]*engine.Relation, len(pp.Schema.Relations)),
+func (pp *Prepared) newScratch() *Scratch {
+	s := &Scratch{
+		Old:      make(map[string]*engine.Relation, len(pp.Schema.Relations)),
+		Frontier: make(map[string]*engine.Relation, len(pp.Schema.Relations)),
+		Derived:  make(map[engine.TupleID]bool),
+		Fresh:    make(map[engine.TupleID]bool),
 	}
 	for _, rs := range pp.Schema.Relations {
-		s.old[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
-		s.frontier[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+		s.Old[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
+		s.Frontier[rs.Name] = engine.NewScratchRelation(rs.Name, rs.Arity())
 	}
 	for _, rq := range pp.seminaiveReqs {
 		if rq.Target != TargetScratch {
 			continue
 		}
-		if r := s.old[rq.Rel]; r != nil {
+		if r := s.Old[rq.Rel]; r != nil {
 			r.EnsureIndex(rq.Col)
-			s.frontier[rq.Rel].EnsureIndex(rq.Col)
+			s.Frontier[rq.Rel].EnsureIndex(rq.Col)
 		}
 	}
 	return s
 }
 
-// AcquireScratch returns pooled seminaive scratch state: per-relation old
-// and frontier relations, empty, with scratch index requirements
-// registered. Release with ReleaseScratch so repeated derivations reuse
-// the allocations.
-func (pp *Prepared) AcquireScratch() (old, frontier map[string]*engine.Relation) {
-	s := pp.scratchPool.Get().(*scratch)
-	return s.old, s.frontier
+// AcquireScratch returns pooled seminaive scratch state, empty, with
+// scratch index requirements registered. Release with ReleaseScratch so
+// repeated derivations reuse the allocations.
+func (pp *Prepared) AcquireScratch() *Scratch {
+	return pp.scratchPool.Get().(*Scratch)
 }
 
-// ReleaseScratch resets and pools scratch maps obtained from
-// AcquireScratch.
-func (pp *Prepared) ReleaseScratch(old, frontier map[string]*engine.Relation) {
-	for _, r := range old {
+// ReleaseScratch resets and pools scratch obtained from AcquireScratch.
+func (pp *Prepared) ReleaseScratch(s *Scratch) {
+	for _, r := range s.Old {
 		r.Reset()
 	}
-	for _, r := range frontier {
+	for _, r := range s.Frontier {
 		r.Reset()
 	}
-	pp.scratchPool.Put(&scratch{old: old, frontier: frontier})
+	clear(s.Derived)
+	clear(s.Fresh)
+	s.Heads = s.Heads[:0]
+	s.Eligible = s.Eligible[:0]
+	pp.scratchPool.Put(s)
 }
 
 // ---------- prepared evaluation entry points ----------

@@ -280,24 +280,30 @@ func TestEvalInsertSeeded(t *testing.T) {
 // indexes, and reacquiring after release hands back reset relations.
 func TestScratchPoolRoundTrip(t *testing.T) {
 	_, _, pp := preparedExample(t)
-	old, frontier := pp.AcquireScratch()
+	s := pp.AcquireScratch()
 	for _, rs := range pp.Schema.Relations {
-		if old[rs.Name] == nil || frontier[rs.Name] == nil {
+		if s.Old[rs.Name] == nil || s.Frontier[rs.Name] == nil {
 			t.Fatalf("scratch missing relation %s", rs.Name)
 		}
-		if old[rs.Name].Len() != 0 || frontier[rs.Name].Len() != 0 {
+		if s.Old[rs.Name].Len() != 0 || s.Frontier[rs.Name].Len() != 0 {
 			t.Fatalf("scratch for %s not empty", rs.Name)
 		}
 	}
 	// Dirty the scratch, release, reacquire: must come back empty.
 	tp := engine.NewTuple("Grant", engine.Int(9), engine.Str("X"))
-	frontier["Grant"].Insert(tp)
-	pp.ReleaseScratch(old, frontier)
-	old2, frontier2 := pp.AcquireScratch()
-	defer pp.ReleaseScratch(old2, frontier2)
+	s.Frontier["Grant"].Insert(tp)
+	s.Derived[tp.TID] = true
+	s.Heads = append(s.Heads, tp)
+	s.Eligible = append(s.Eligible, 0)
+	pp.ReleaseScratch(s)
+	s2 := pp.AcquireScratch()
+	defer pp.ReleaseScratch(s2)
 	for _, rs := range pp.Schema.Relations {
-		if old2[rs.Name].Len() != 0 || frontier2[rs.Name].Len() != 0 {
+		if s2.Old[rs.Name].Len() != 0 || s2.Frontier[rs.Name].Len() != 0 {
 			t.Fatalf("recycled scratch for %s not reset", rs.Name)
 		}
+	}
+	if len(s2.Derived) != 0 || len(s2.Fresh) != 0 || len(s2.Heads) != 0 || len(s2.Eligible) != 0 {
+		t.Fatal("recycled scratch sets/buffers not reset")
 	}
 }

@@ -1,0 +1,167 @@
+package engine
+
+import "math"
+
+// Hash-shard views over frozen cores.
+//
+// Sharded parallel evaluation (see internal/core) splits a snapshot into P
+// disjoint partitions, one per worker, with each partitioned relation
+// hash-split on its partition key column. A shard is an ordinary
+// copy-on-write fork whose deletion bitmap pre-marks every frozen row the
+// shard does not own — a positional filter over the shared cores, no tuple
+// copies — so all of the engine's read paths (columnar probes, frozen
+// indexes, scans) work on shards unchanged, and relations without a
+// partition key are replicated to every shard for free by the fork itself.
+
+// MaxShards caps the shard fan-out of one evaluation. Well above any
+// plausible core count; bounds the per-relation bitmap work.
+const MaxShards = 64
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection so
+// that dense integer keys (the common case — entity IDs) spread uniformly
+// across shards instead of striping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 is FNV-1a over the string bytes.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardHash hashes the mapKey-normalized value, so values that are Equal
+// (1 == 1.0 cross-kind) always hash to the same shard.
+func shardHash(v Value) uint64 {
+	k := v.mapKey()
+	switch k.Kind {
+	case KindInt:
+		return mix64(uint64(k.Int))
+	case KindString:
+		return mix64(fnv64(k.Str))
+	default: // non-integral float (mapKey narrows integral floats to int)
+		return mix64(math.Float64bits(k.Flt) ^ 0x9e3779b97f4a7c15)
+	}
+}
+
+// ShardOf returns the shard owning the value under a hash-partitioning
+// into the given number of shards. Deterministic across processes;
+// consistent with Value.Equal (equal values share a shard).
+func ShardOf(v Value, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(shardHash(v) % uint64(shards))
+}
+
+// ShardForks mints p working copies of the snapshot with every relation
+// named in keys hash-partitioned on its key column: fork i sees exactly
+// the frozen rows (base and delta side) whose key value hashes to shard i,
+// plus every unkeyed relation in full. The partition is a per-fork
+// deletion bitmap over the shared frozen cores — O(rows/64) words per
+// shard and no tuple copies — computed on the columnar key vector when the
+// columnar image is available.
+func (s *Snapshot) ShardForks(p int, keys map[string]int) []*Database {
+	if p > MaxShards {
+		p = MaxShards
+	}
+	if p < 1 {
+		p = 1
+	}
+	forks := make([]*Database, p)
+	for i := range forks {
+		forks[i] = s.Fork()
+	}
+	if p == 1 {
+		return forks
+	}
+	for name, col := range keys {
+		shardCore(forks, s.base[name], col, true)
+		shardCore(forks, s.delta[name], col, false)
+	}
+	return forks
+}
+
+// shardCore installs the partition bitmaps for one frozen core (the base
+// or delta side of one keyed relation) into every fork.
+func shardCore(forks []*Database, fz *frozenRel, col int, base bool) {
+	if fz == nil || len(fz.order) == 0 {
+		return
+	}
+	p := len(forks)
+	owners := fz.shardOwners(col, p)
+	n := len(owners)
+	words := (n + 63) / 64
+	counts := make([]int, p)
+	for _, o := range owners {
+		counts[o]++
+	}
+	for i, fdb := range forks {
+		if counts[i] == n {
+			continue // this shard owns every row: stay a pristine overlay
+		}
+		r := fdb.delta[fz.name]
+		if base {
+			r = fdb.base[fz.name]
+		}
+		bits := make([]uint64, words)
+		for w := range bits {
+			bits[w] = ^uint64(0) // stray bits past n are never queried
+		}
+		for pos, o := range owners {
+			if int(o) == i {
+				bits[pos>>6] &^= 1 << (uint(pos) & 63)
+			}
+		}
+		r.fdel, r.fdead = bits, n-counts[i]
+	}
+}
+
+// shardOwners computes the owning shard of every frozen row by hashing the
+// key column. The columnar fast path hashes int cells straight off the
+// vector and memoizes string cells per intern index (equal strings share
+// an index, so each distinct string is hashed once per core).
+func (fz *frozenRel) shardOwners(col, p int) []uint8 {
+	owners := make([]uint8, len(fz.order))
+	fc := fz.columnar()
+	if fc == nil {
+		for pos, t := range fz.order {
+			owners[pos] = uint8(ShardOf(t.Vals[col], p))
+		}
+		return owners
+	}
+	cv := &fc.cols[col]
+	var strOwner []int16 // per intern index: owner+1, 0 = not yet hashed
+	for pos := range owners {
+		switch cv.kindAt(pos) {
+		case KindInt:
+			owners[pos] = uint8(mix64(uint64(cv.data[pos])) % uint64(p))
+		case KindFloat:
+			// Reconstruct so mapKey normalization (integral floats narrow
+			// to int) keeps cross-kind equal values on one shard.
+			f := math.Float64frombits(uint64(cv.data[pos]))
+			owners[pos] = uint8(ShardOf(Value{Kind: KindFloat, Flt: f}, p))
+		default:
+			if strOwner == nil {
+				strOwner = make([]int16, len(fc.strs))
+			}
+			si := cv.data[pos]
+			o := strOwner[si]
+			if o == 0 {
+				o = int16(ShardOf(Value{Kind: KindString, Str: fc.strs[si]}, p)) + 1
+				strOwner[si] = o
+			}
+			owners[pos] = uint8(o - 1)
+		}
+	}
+	return owners
+}

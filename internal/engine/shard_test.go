@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardOfMapKeyConsistency: values that compare equal across kinds
+// (integral floats narrow to ints under mapKey) must hash to the same
+// shard, or a replicated probe would miss co-located join partners.
+func TestShardOfMapKeyConsistency(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 64} {
+		for i := -5; i <= 5; i++ {
+			a := ShardOf(Int(i), p)
+			b := ShardOf(Float(float64(i)), p)
+			if a != b {
+				t.Fatalf("p=%d: ShardOf(Int(%d))=%d != ShardOf(Float(%d))=%d", p, i, a, i, b)
+			}
+		}
+	}
+	// Degenerate widths: everything lands on shard 0.
+	if ShardOf(Int(42), 1) != 0 || ShardOf(Str("x"), 0) != 0 {
+		t.Fatal("shards<=1 must map every value to shard 0")
+	}
+}
+
+// TestShardOfSpread: a modest range of keys must not collapse onto one
+// shard (mix64 finalization, not raw modulo of small ints).
+func TestShardOfSpread(t *testing.T) {
+	const p = 4
+	counts := make([]int, p)
+	for i := 0; i < 256; i++ {
+		counts[ShardOf(Int(i), p)]++
+		counts[ShardOf(Str(fmt.Sprintf("k%d", i)), p)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no values: %v", s, counts)
+		}
+	}
+}
+
+// TestShardForksPartition: the forks returned by ShardForks must be a
+// disjoint, complete partition of every keyed relation — each live tuple
+// visible in exactly one fork, at the shard its key column hashes to —
+// while unkeyed relations stay fully visible everywhere.
+func TestShardForksPartition(t *testing.T) {
+	db := cowDB(t, 200)
+	// Mixed-core shape: freeze once, then grow a delta tail and delete a
+	// few frozen rows so base cores, delta cores, and fdel overlays all
+	// participate in the partition.
+	_ = db.Freeze()
+	for i := 0; i < 40; i++ {
+		db.MustInsert("R", Int(100+i), Str("tail"))
+	}
+	rt := db.Relation("R").Tuples()
+	db.DeleteTupleToDelta(rt[0])
+	db.DeleteTupleToDelta(rt[3])
+	snap := db.Freeze()
+
+	const p = 4
+	forks := snap.ShardForks(p, map[string]int{"R": 0})
+	if len(forks) != p {
+		t.Fatalf("got %d forks, want %d", len(forks), p)
+	}
+
+	seen := make(map[TupleID]int)
+	for s, f := range forks {
+		f.Relation("R").Scan(func(tp *Tuple) bool {
+			if want := ShardOf(tp.Vals[0], p); want != s {
+				t.Fatalf("tuple %s in shard %d, key hashes to %d", tp.Key(), s, want)
+			}
+			if prev, dup := seen[tp.TID]; dup {
+				t.Fatalf("tuple %s visible in shards %d and %d", tp.Key(), prev, s)
+			}
+			seen[tp.TID] = s
+			return true
+		})
+		// Unkeyed relation: every fork sees all of S.
+		if got, want := f.Relation("S").Len(), db.Relation("S").Len(); got != want {
+			t.Fatalf("shard %d sees %d S-tuples, want %d (replicated)", s, got, want)
+		}
+	}
+	if got, want := len(seen), db.Relation("R").Len(); got != want {
+		t.Fatalf("union of shards holds %d R-tuples, want %d", got, want)
+	}
+	// The partition must not leak back: the source database still sees
+	// every live tuple.
+	if db.Relation("R").Len() != len(seen) {
+		t.Fatal("sharding mutated the source database")
+	}
+
+	// Width 1 short-circuits to a plain fork.
+	one := snap.ShardForks(1, map[string]int{"R": 0})
+	if len(one) != 1 || one[0].Relation("R").Len() != db.Relation("R").Len() {
+		t.Fatal("ShardForks(1) must return one full fork")
+	}
+}

@@ -95,6 +95,20 @@ func checkUpdateStream(t *testing.T, us *UpdateStream) {
 			wantKeys := sortedResultKeys(want)
 			expected[version][sem] = wantKeys
 
+			// Sharded-parallel leg: on the same lineage as the scratch run,
+			// sharded evaluation (4 shards, no size floor) must be
+			// byte-identical — Seq-ordered keys, not merely set-equal — to
+			// sequential, at every version of the stream.
+			sharded, _, err := core.RunWith(fresh.Fork(), sc.Program, sem,
+				core.Options{Prepared: prep, Parallelism: 4, ShardMinTuples: -1})
+			if err != nil {
+				t.Fatalf("seed %d v%d: sharded %s: %v", sc.Seed, version, sem, err)
+			}
+			if got, wantExact := fmt.Sprintf("%v", sharded.Keys()), fmt.Sprintf("%v", want.Keys()); got != wantExact {
+				t.Fatalf("seed %d v%d: %s sharded %s != sequential %s\nprogram:\n%s",
+					sc.Seed, version, sem, got, wantExact, sc.ProgramSource)
+			}
+
 			// First incremental request at this version: exercises the
 			// cross-version warm-start paths (read-set pruning, end
 			// continuation) or a cold run.

@@ -658,7 +658,11 @@ func (s *Service) IsStableVersioned(ctx context.Context, name string, opts Reque
 	if err != nil {
 		return false, 0, err
 	}
-	stable, err := core.CheckStableWarmCtx(reqCtx, snap.Fork(), sess.prep, sess.stableHints(version))
+	par := s.cfg.Parallelism
+	if opts.Parallelism > 0 {
+		par = opts.Parallelism
+	}
+	stable, err := core.CheckStableWarmParCtx(reqCtx, snap.Fork(), sess.prep, sess.stableHints(version), par)
 	if err != nil {
 		return false, 0, err
 	}
