@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -245,6 +246,14 @@ func deriveAuto(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig)
 func shardWidth(work *engine.Database, prep *datalog.Prepared, cfg deriveConfig) int {
 	p := cfg.parallelism
 	if p <= 1 || cfg.capture != nil || cfg.naive || !prep.Shardable() {
+		return 0
+	}
+	// A single-core host runs the shards sequentially anyway and still
+	// pays partition + merge (~15% on comparison/sharded_vs_sequential),
+	// so sharding needs real parallelism. A negative shardMin keeps
+	// forcing shards — the differential suites use it to exercise the
+	// sharded path byte-identically on any host.
+	if cfg.shardMin >= 0 && runtime.GOMAXPROCS(0) == 1 {
 		return 0
 	}
 	if p > engine.MaxShards {

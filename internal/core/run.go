@@ -42,10 +42,13 @@ type Options struct {
 	// Warm, when non-nil, carries incremental-update hints from a
 	// versioned serving layer (see WarmStart): a previous version's result
 	// plus the base changes since. Updates outside the prepared read-set
-	// replay the previous result without deriving anything; insert-only
-	// updates let end semantics continue the previous fixpoint with the
-	// inserted tuples as the initial frontier. Hints never change results
-	// — inapplicable ones simply fall back to a full run.
+	// replay the previous result without deriving anything; end semantics
+	// continues the previous fixpoint incrementally — directly after
+	// insert-only updates, via DRed-style over-delete/re-derive after
+	// updates containing deletions; the other semantics replay the
+	// previous result whenever a seeded change probe proves the batch
+	// interacts with no rule. Hints never change results — inapplicable
+	// ones simply fall back to a full run.
 	Warm *WarmStart
 }
 
@@ -101,15 +104,30 @@ func RunWith(db *engine.Database, p *datalog.Program, sem Semantics, opts Option
 	}
 	switch sem {
 	case SemEnd:
+		// Insert-only batches continue the previous fixpoint directly;
+		// batches with deletions run the DRed over-delete/re-derive
+		// continuation. Either way the warm path costs O(changes).
 		if res, work, ok, err := runEndWarm(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples, opts.Warm); ok || err != nil {
+			return res, work, err
+		}
+		if res, work, ok, err := runEndWarmDelete(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples, opts.Warm); ok || err != nil {
 			return res, work, err
 		}
 		return runEnd(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples)
 	case SemStage:
+		if res, work, ok, err := runChangeProbe(opts.Ctx, db, prep, sem, opts.Warm); ok || err != nil {
+			return res, work, err
+		}
 		return runStage(opts.Ctx, db, prep, opts.Parallelism, opts.ShardMinTuples)
 	case SemStep:
+		if res, work, ok, err := runChangeProbe(opts.Ctx, db, prep, sem, opts.Warm); ok || err != nil {
+			return res, work, err
+		}
 		return runStepGreedy(opts.Ctx, db, prep, opts.Parallelism, StepGreedyOptions{})
 	case SemIndependent:
+		if res, work, ok, err := runChangeProbe(opts.Ctx, db, prep, sem, opts.Warm); ok || err != nil {
+			return res, work, err
+		}
 		return runIndependent(opts.Ctx, db, prep, opts.Parallelism, opts.Independent)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown semantics %v", sem)

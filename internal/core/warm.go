@@ -60,8 +60,15 @@ type WarmStart struct {
 	// Inserted holds the tuples the updates inserted, per relation (the
 	// interned objects from engine.ApplyInfo.InsertedTuples).
 	Inserted map[string][]*engine.Tuple
+	// Deleted holds the tuples the updates deleted, per relation (the
+	// objects from engine.ApplyInfo.DeletedTuples). The end-semantics
+	// delete continuation over-deletes their downward closure from the
+	// previous fixpoint, and the cached-result change probes seed their
+	// sweeps with them.
+	Deleted map[string][]*engine.Tuple
 	// InsertOnly reports that the updates performed no deletions, the
-	// precondition for continuing an end-semantics fixpoint.
+	// precondition for continuing an end-semantics fixpoint without delete
+	// propagation.
 	InsertOnly bool
 }
 
@@ -117,15 +124,21 @@ func runWarmShortcut(db *engine.Database, prep *datalog.Prepared, sem Semantics,
 	if w == nil || w.PrevResult == nil || w.PrevResult.Semantics != sem || w.touchesReadSet(prep) {
 		return nil, nil, false
 	}
-	start := time.Now()
-	work := db.Fork()
-	for _, t := range w.PrevResult.Deleted {
+	return replayPrevResult(db.Fork(), w.PrevResult, time.Now())
+}
+
+// replayPrevResult re-applies a previous version's result onto a fork of
+// the new version: every previously deleted tuple is moved base → delta
+// again, and the result metadata is copied. ok is false when a previous
+// deletion is no longer live — a stale hint; the caller then runs the
+// full executor instead of trusting the hints.
+func replayPrevResult(work *engine.Database, prev *Result, start time.Time) (*Result, *engine.Database, bool) {
+	for _, t := range prev.Deleted {
 		if !work.DeleteTupleToDelta(t) {
 			return nil, nil, false // stale hint: recompute from scratch
 		}
 	}
-	prev := w.PrevResult
-	res := newResult(sem, append([]*engine.Tuple(nil), prev.Deleted...))
+	res := newResult(prev.Semantics, append([]*engine.Tuple(nil), prev.Deleted...))
 	res.Rounds = prev.Rounds
 	res.Optimal = prev.Optimal
 	res.SolverNodes = prev.SolverNodes
@@ -134,6 +147,118 @@ func runWarmShortcut(db *engine.Database, prep *datalog.Prepared, sem Semantics,
 	res.RepairCost = prev.RepairCost
 	res.Timing = Breakdown{Update: time.Since(start)}
 	return res, work, true
+}
+
+// runChangeProbe attempts cached-result replay for the semantics without
+// an incremental executor (stage, step, independent) after an update
+// batch that does touch the read-set. It probes whether any rule
+// assignment binds any changed tuple: every atom position is seeded in
+// turn with the batch's deleted and still-live inserted tuples, while
+// every other position reads live ∪ deleted — a superset of both the
+// previous and the current version's contents at every atom (base atoms:
+// rows absent from both are irrelevant; delta atoms: whatever subset of
+// base-or-deleted content an executor ranges over). Zero probe hits mean
+// no assignment of any rule, under any executor's sources, binds a
+// changed tuple, so the two versions have identical assignment universes
+// — and identical enumeration order, because unchanged tuples keep their
+// relative storage and index order across Apply (deletions hide rows,
+// insertions append). Every executor is a deterministic function of that
+// enumeration — including the variable numbering of Algorithm 1's
+// formula and the tie-breaking of Algorithm 2's greedy — so the previous
+// result is reproduced verbatim and is replayed without running the
+// executor. Any probe hit falls back to the full executor; the probe's
+// cost is bounded by the update batch and its join neighborhood, not the
+// database.
+func runChangeProbe(ctx context.Context, db *engine.Database, prep *datalog.Prepared, sem Semantics, w *WarmStart) (*Result, *engine.Database, bool, error) {
+	if w == nil || w.PrevResult == nil || w.PrevResult.Semantics != sem {
+		return nil, nil, false, nil
+	}
+	start := time.Now()
+	work := db.Fork()
+	schema := work.Schema
+
+	// Seeds: the deleted tuples plus the still-live inserted tuples.
+	// Folded multi-version hints may record tuples inserted then deleted
+	// inside the range (in neither endpoint version); they stay in the
+	// delete view, which only over-approximates — a spurious hit costs a
+	// fallback, never correctness.
+	deletes := groupByRelation(schema, w.Deleted)
+	seeds := make(map[string]*engine.Relation, len(deletes))
+	for rel, r := range deletes {
+		seeds[rel] = r.Clone()
+	}
+	for rel, r := range w.seedRelations(work) {
+		dst := seeds[rel]
+		if dst == nil {
+			seeds[rel] = r
+			continue
+		}
+		r.Scan(func(t *engine.Tuple) bool {
+			dst.Insert(t)
+			return true
+		})
+	}
+	if len(seeds) == 0 {
+		// Every change was an insert-then-delete no-op inside the hint
+		// range; both endpoint versions are identical.
+		return probeReplay(work, w.PrevResult, start)
+	}
+
+	ec := prep.AcquireContext()
+	defer prep.ReleaseContext(ec)
+	for _, pr := range prep.Rules {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, false, err
+		}
+		rule := pr.Rule
+		src := func(bi int) datalog.AtomSource {
+			rel := rule.Body[bi].Rel
+			if d := deletes[rel]; d != nil {
+				return datalog.AtomSource{work.Relation(rel), d}
+			}
+			return datalog.AtomSource{work.Relation(rel)}
+		}
+		hit := false
+		err := pr.EvalChangeSeeded(seeds, false, src, ec, func(*datalog.Assignment) bool {
+			hit = true
+			return false
+		})
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if hit {
+			return nil, nil, false, nil // the change interacts: full run
+		}
+	}
+	return probeReplay(work, w.PrevResult, start)
+}
+
+// probeReplay adapts replayPrevResult's three-value shape to the
+// (handled, error) dispatch convention of the warm executors.
+func probeReplay(work *engine.Database, prev *Result, start time.Time) (*Result, *engine.Database, bool, error) {
+	res, db, ok := replayPrevResult(work, prev, start)
+	return res, db, ok, nil
+}
+
+// groupByRelation materializes per-relation tuple lists as scratch
+// relations, dropping empty groups.
+func groupByRelation(schema *engine.Schema, lists map[string][]*engine.Tuple) map[string]*engine.Relation {
+	out := make(map[string]*engine.Relation, len(lists))
+	for rel, tuples := range lists {
+		if len(tuples) == 0 {
+			continue
+		}
+		rs := schema.Relation(rel)
+		if rs == nil {
+			continue
+		}
+		r := engine.NewScratchRelation(rel, rs.Arity())
+		for _, t := range tuples {
+			r.Insert(t)
+		}
+		out[rel] = r
+	}
+	return out
 }
 
 // CheckStableWarm is CheckStableWarmCtx without cancellation.

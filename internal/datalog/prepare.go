@@ -558,6 +558,91 @@ func (pr *PreparedRule) EvalInsertSeeded(db *engine.Database, seeds map[string]*
 	return nil
 }
 
+// EvalChangeSeeded enumerates the rule's assignments that bind at least
+// one changed tuple: for each body atom in turn — base atoms via the
+// insert-pass plans, delta atoms via the seminaive pass plans — that atom
+// reads only the matching seed relation while every other atom reads the
+// sources src supplies for its body position. Because rule bodies are
+// positive conjunctions, an assignment present in one of two database
+// states but not the other must bind a changed tuple at some atom, so as
+// long as src covers both states at every position, the union over these
+// passes covers every assignment the change created or invalidated (an
+// assignment binding several changed tuples is emitted once per such
+// atom; dedup if that matters). With baseOnly, seeding is restricted to
+// base atoms and delta atoms read only their src sources — the shape
+// delete propagation wants, where changed delta-side tuples are swept
+// separately through the dead-tuple frontier.
+//
+// This is the delete-side sibling of EvalInsertSeeded, generalized: the
+// caller chooses the per-position sources, so the same primitive drives
+// DRed over-deletion (deleted tuples seeded over a superset of the old
+// version) and cached-result change probes (deletes plus inserts seeded
+// over a superset of both versions).
+func (pr *PreparedRule) EvalChangeSeeded(seeds map[string]*engine.Relation, baseOnly bool, src func(bi int) AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	evalAt := func(pl *plan, seedAt int, seed *engine.Relation) error {
+		sources := make([]AtomSource, len(pr.Rule.Body))
+		for j := range pr.Rule.Body {
+			if j == seedAt {
+				sources[j] = AtomSource{seed}
+			} else {
+				sources[j] = src(j)
+			}
+		}
+		return pr.evalWith(pl, sources, ctx, emit)
+	}
+	for i, bi := range pr.baseIdx {
+		seed := seeds[pr.Rule.Body[bi].Rel]
+		if seed == nil || seed.Len() == 0 {
+			continue
+		}
+		if err := evalAt(pr.insertPasses[i], bi, seed); err != nil {
+			return err
+		}
+	}
+	if baseOnly {
+		return nil
+	}
+	for p, bi := range pr.deltaIdx {
+		seed := seeds[pr.Rule.Body[bi].Rel]
+		if seed == nil || seed.Len() == 0 {
+			continue
+		}
+		if err := evalAt(pr.passes[p], bi, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvalSelfSeeded enumerates exactly the derivations of the seed tuples:
+// the rule's mandatory self atom (Rule.SelfIdx — the base atom carrying
+// the head's terms, Def. 3.1) reads only the seed, so every emitted
+// assignment's head is a seed tuple, while every other atom reads the
+// sources src supplies for its body position. Incremental re-derivation
+// uses this to ask "does this over-deleted tuple still have a surviving
+// derivation?" at a cost bounded by the seed, not the database.
+func (pr *PreparedRule) EvalSelfSeeded(seed *engine.Relation, src func(bi int) AtomSource, ctx *ExecContext, emit func(*Assignment) bool) error {
+	if seed == nil || seed.Len() == 0 {
+		return nil
+	}
+	for i, bi := range pr.baseIdx {
+		if bi != pr.Rule.SelfIdx {
+			continue
+		}
+		sources := make([]AtomSource, len(pr.Rule.Body))
+		for j := range pr.Rule.Body {
+			if j == bi {
+				sources[j] = AtomSource{seed}
+			} else {
+				sources[j] = src(j)
+			}
+		}
+		return pr.evalWith(pr.insertPasses[i], sources, ctx, emit)
+	}
+	// Unreachable for validated rules: the self atom is always a base atom.
+	return fmt.Errorf("datalog: rule %s has no base self atom", ruleName(pr.Rule))
+}
+
 // EvalPass enumerates assignments for one seminaive pass over
 // caller-supplied sources (built to the pass shape: the pass-th delta atom
 // reads the frontier, earlier delta atoms old deltas, later ones

@@ -147,6 +147,12 @@ func (s *Snapshot) Apply(inserts, deletes []Row) (*Snapshot, *ApplyInfo, error) 
 type SnapshotRing struct {
 	mu    sync.RWMutex
 	slots []*Snapshot
+	// metas[v%cap] describes the update batch that produced version v —
+	// the ApplyInfo recorded by AdvanceApplied, nil for the base version
+	// and for versions advanced without metadata. Serving layers chain
+	// warm starts across consecutive versions from these without keeping
+	// their own version bookkeeping; eviction is automatic with the slot.
+	metas []*ApplyInfo
 	head  uint64 // newest version; versions start at 1
 	n     int    // number of retained versions, ≤ len(slots)
 }
@@ -162,7 +168,7 @@ func NewSnapshotRing(base *Snapshot, capacity int) *SnapshotRing {
 	if capacity <= 0 {
 		capacity = DefaultRetainedVersions
 	}
-	r := &SnapshotRing{slots: make([]*Snapshot, capacity), head: 1, n: 1}
+	r := &SnapshotRing{slots: make([]*Snapshot, capacity), metas: make([]*ApplyInfo, capacity), head: 1, n: 1}
 	r.slots[1%uint64(capacity)] = base
 	return r
 }
@@ -213,12 +219,38 @@ func (r *SnapshotRing) At(version uint64) (*Snapshot, bool) {
 // version number, keeping "one update = one version" bookkeeping simple
 // for callers.
 func (r *SnapshotRing) Advance(next *Snapshot) uint64 {
+	return r.AdvanceApplied(next, nil)
+}
+
+// AdvanceApplied is Advance additionally recording the ApplyInfo of the
+// update batch that produced the new version, retrievable with AppliedAt
+// while the version stays in the ring. A no-op batch's (empty) info is
+// worth recording too: it keeps the metadata chain unbroken so warm
+// starts can fold across the version.
+func (r *SnapshotRing) AdvanceApplied(next *Snapshot, info *ApplyInfo) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.head++
-	r.slots[r.head%uint64(len(r.slots))] = next
+	idx := r.head % uint64(len(r.slots))
+	r.slots[idx] = next
+	r.metas[idx] = info
 	if r.n < len(r.slots) {
 		r.n++
 	}
 	return r.head
+}
+
+// AppliedAt returns the ApplyInfo recorded for a version by
+// AdvanceApplied. ok is false when the version has left the ring (or was
+// never minted) or carries no metadata — the base version, or a version
+// advanced without info; warm-start folds treat either as a break in the
+// chain.
+func (r *SnapshotRing) AppliedAt(version uint64) (*ApplyInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if version > r.head || version+uint64(r.n) <= r.head {
+		return nil, false
+	}
+	info := r.metas[version%uint64(len(r.slots))]
+	return info, info != nil
 }

@@ -305,3 +305,59 @@ func TestSnapshotRingConcurrentReaders(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSnapshotRingAppliedMetadata: AdvanceApplied records per-version
+// ApplyInfo retrievable while the version stays in the ring; plain
+// Advance and the base version read as chain breaks; eviction drops the
+// metadata with the slot.
+func TestSnapshotRingAppliedMetadata(t *testing.T) {
+	snap, _ := updateTestSnapshot(t)
+	ring := NewSnapshotRing(snap, 3)
+
+	// The base version carries no metadata.
+	if _, ok := ring.AppliedAt(1); ok {
+		t.Fatal("base version reported metadata")
+	}
+
+	cur := snap
+	var infos []*ApplyInfo
+	for i := 0; i < 4; i++ {
+		next, info, err := cur.Apply([]Row{{Rel: "S", Vals: []Value{Int(60 + i)}}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := ring.AdvanceApplied(next, info); v != uint64(i+2) {
+			t.Fatalf("advance %d returned version %d", i, v)
+		}
+		infos = append(infos, info)
+		cur = next
+	}
+
+	// Retained versions (3..5 with capacity 3) return exactly the info
+	// recorded for them; evicted and future versions do not.
+	for v := uint64(3); v <= 5; v++ {
+		info, ok := ring.AppliedAt(v)
+		if !ok || info != infos[v-2] {
+			t.Fatalf("AppliedAt(%d): ok=%v info=%p, want %p", v, ok, info, infos[v-2])
+		}
+	}
+	if _, ok := ring.AppliedAt(2); ok {
+		t.Fatal("evicted version still reports metadata")
+	}
+	if _, ok := ring.AppliedAt(6); ok {
+		t.Fatal("future version reports metadata")
+	}
+
+	// A plain Advance overwrites the slot's stale metadata: the new
+	// version must read as a chain break, not as the evicted version's
+	// ApplyInfo.
+	if v := ring.Advance(cur); v != 6 {
+		t.Fatalf("plain advance returned version %d", v)
+	}
+	if _, ok := ring.AppliedAt(6); ok {
+		t.Fatal("metadata-free advance reported stale metadata")
+	}
+	if info, ok := ring.AppliedAt(5); !ok || info != infos[3] {
+		t.Fatal("retained metadata lost after plain advance")
+	}
+}

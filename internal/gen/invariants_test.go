@@ -125,6 +125,64 @@ func checkScenario(t *testing.T, sc *Scenario) {
 				sc.Seed, ind.Size(), results[core.SemStep].Size(), results[core.SemStage].Size(), sc.ProgramSource)
 		}
 	}
+
+	// (5) Warm-delete byte-identity: a deterministic mixed batch — three
+	// spread-out rows deleted, one of them re-inserted (a resurrection
+	// with a fresh tuple identity) — is applied to the frozen scenario,
+	// and every semantics' warm run (previous result + ApplyInfo hints)
+	// must be byte-identical (exact Seq-ordered keys — warm and cold
+	// share the post-batch lineage) to a cold run. End semantics takes
+	// the over-delete/re-derive pipeline; the others take the seeded
+	// change probe or fall back, all without changing the answer.
+	var rows []engine.Row
+	for _, rs := range sc.Schema.Relations {
+		sc.DB.Relation(rs.Name).Scan(func(tp *engine.Tuple) bool {
+			rows = append(rows, engine.Row{Rel: tp.Rel, Vals: tp.Vals})
+			return true
+		})
+	}
+	if len(rows) == 0 {
+		return
+	}
+	pick := map[int]bool{0: true, len(rows) / 2: true, len(rows) - 1: true}
+	var deletes []engine.Row
+	for i := range rows {
+		if pick[i] {
+			deletes = append(deletes, rows[i])
+		}
+	}
+	next, info, err := snap.Apply([]engine.Row{rows[0]}, deletes)
+	if err != nil {
+		t.Fatalf("seed %d: warm-delete batch: %v", sc.Seed, err)
+	}
+	for _, sem := range core.AllSemantics {
+		prev, _, err := core.RunWith(snap.Fork(), sc.Program, sem, core.Options{Prepared: prep})
+		if err != nil {
+			t.Fatalf("seed %d: warm-delete prev %s: %v", sc.Seed, sem, err)
+		}
+		warm := &core.WarmStart{
+			PrevResult:  prev,
+			ChangedRels: info.Changed,
+			Inserted:    info.InsertedTuples,
+			Deleted:     info.DeletedTuples,
+			InsertOnly:  info.InsertOnly(),
+		}
+		cold, _, err := core.RunWith(next.Fork(), sc.Program, sem, core.Options{Prepared: prep})
+		if err != nil {
+			t.Fatalf("seed %d: warm-delete cold %s: %v", sc.Seed, sem, err)
+		}
+		got, repaired, err := core.RunWith(next.Fork(), sc.Program, sem, core.Options{Prepared: prep, Warm: warm})
+		if err != nil {
+			t.Fatalf("seed %d: warm-delete warm %s: %v", sc.Seed, sem, err)
+		}
+		if gotKeys, wantKeys := fmt.Sprintf("%v", got.Keys()), fmt.Sprintf("%v", cold.Keys()); gotKeys != wantKeys {
+			t.Fatalf("seed %d: %s warm-delete %s != cold %s\nprogram:\n%s",
+				sc.Seed, sem, gotKeys, wantKeys, sc.ProgramSource)
+		}
+		if stable, err := core.CheckStableP(repaired, prep); err != nil || !stable {
+			t.Fatalf("seed %d: %s warm-delete repaired fork not stable (err=%v)", sc.Seed, sem, err)
+		}
+	}
 }
 
 // TestGeneratedInvariantsQuick is the fixed-seed CI mode: 500 scenarios,

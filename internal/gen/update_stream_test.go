@@ -150,6 +150,49 @@ func checkUpdateStream(t *testing.T, us *UpdateStream) {
 		}
 	}
 
+	// Same-lineage warm chain: an explicit core-level Apply chain whose
+	// every version runs each semantics warm (previous result + the
+	// batch's ApplyInfo as hints) and cold on the very same snapshot.
+	// Shared lineage means shared tuple identities, so the comparison is
+	// byte-identity — exact Seq-ordered keys, not merely set equality —
+	// across whichever warm path engages: read-set replay, change-probe
+	// replay, end continuation, or the delete-maintenance pipeline.
+	chain := freshDB(0).Freeze()
+	prevRes := make(map[core.Semantics]*core.Result)
+	checkWarmChain := func(n int, info *engine.ApplyInfo) {
+		t.Helper()
+		for _, sem := range core.AllSemantics {
+			cold, _, err := core.RunWith(chain.Fork(), sc.Program, sem, core.Options{Prepared: prep})
+			if err != nil {
+				t.Fatalf("seed %d v%d: chain cold %s: %v", sc.Seed, n, sem, err)
+			}
+			if info != nil && prevRes[sem] != nil {
+				warm := &core.WarmStart{
+					PrevResult:  prevRes[sem],
+					ChangedRels: info.Changed,
+					Inserted:    info.InsertedTuples,
+					Deleted:     info.DeletedTuples,
+					InsertOnly:  info.InsertOnly(),
+				}
+				got, repaired, err := core.RunWith(chain.Fork(), sc.Program, sem, core.Options{Prepared: prep, Warm: warm})
+				if err != nil {
+					t.Fatalf("seed %d v%d: chain warm %s: %v", sc.Seed, n, sem, err)
+				}
+				if gotKeys, wantKeys := fmt.Sprintf("%v", got.Keys()), fmt.Sprintf("%v", cold.Keys()); gotKeys != wantKeys {
+					t.Fatalf("seed %d v%d: %s warm chain %s != cold %s\nprogram:\n%s",
+						sc.Seed, n, sem, gotKeys, wantKeys, sc.ProgramSource)
+				}
+				if stable, err := core.CheckStableP(repaired, prep); err != nil || !stable {
+					t.Fatalf("seed %d v%d: %s warm-repaired fork not stable (err=%v)", sc.Seed, n, sem, err)
+				}
+				prevRes[sem] = got
+				continue
+			}
+			prevRes[sem] = cold
+		}
+	}
+	checkWarmChain(0, nil)
+
 	checkVersion(0, 1)
 	version := uint64(1)
 	for i, op := range us.Ops {
@@ -161,6 +204,14 @@ func checkUpdateStream(t *testing.T, us *UpdateStream) {
 			t.Fatalf("seed %d: update %d minted version %d, want %d", sc.Seed, i, res.Version, version+1)
 		}
 		version = res.Version
+
+		next, info, err := chain.Apply(op.Inserts, op.Deletes)
+		if err != nil {
+			t.Fatalf("seed %d: chain apply %d: %v", sc.Seed, i, err)
+		}
+		chain = next
+		checkWarmChain(i+1, info)
+
 		checkVersion(i+1, version)
 	}
 
@@ -182,13 +233,15 @@ func checkUpdateStream(t *testing.T, us *UpdateStream) {
 }
 
 // TestUpdateStreamEquivalenceQuick is the fixed-seed CI mode: 500
-// streams, each an independent parallel subtest naming its seed.
+// streams, each an independent parallel subtest naming its seed. The
+// batch shape is the weighted ShapeForSeed mix, so every sweep covers
+// mixed, delete-heavy, and interleaved streams.
 func TestUpdateStreamEquivalenceQuick(t *testing.T) {
 	for seed := int64(1); seed <= quickStreams; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			checkUpdateStream(t, GenerateUpdateStream(seed, streamOps))
+			checkUpdateStream(t, GenerateShapedStream(seed, streamOps, ShapeForSeed(seed)))
 		})
 	}
 }
@@ -212,7 +265,7 @@ func TestUpdateStreamEquivalenceSoak(t *testing.T) {
 		seed := soakOffset + base + int64(i)
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			checkUpdateStream(t, GenerateUpdateStream(seed, 2*streamOps))
+			checkUpdateStream(t, GenerateShapedStream(seed, 2*streamOps, ShapeForSeed(seed)))
 		})
 	}
 }
@@ -275,5 +328,50 @@ func TestUpdateStreamCoverage(t *testing.T) {
 	}
 	if repairs < 50 {
 		t.Errorf("only %d/200 streams start unstable", repairs)
+	}
+}
+
+// TestUpdateStreamShapes: the weighted shapes deliver what they promise —
+// delete-heavy streams skew toward deletions, interleaved batches always
+// carry both kinds, and the seed-weighted mix covers all three shapes.
+func TestUpdateStreamShapes(t *testing.T) {
+	heavyDel, heavyIns := 0, 0
+	for seed := int64(1); seed <= 100; seed++ {
+		us := GenerateShapedStream(seed, streamOps, DeleteHeavyShape)
+		for i, op := range us.Ops {
+			heavyDel += len(op.Deletes)
+			heavyIns += len(op.Inserts)
+			// A live-targeting delete draw skips when nothing is live, so
+			// the at-least-one guarantee holds only on non-empty states.
+			if len(op.Deletes) == 0 && len(us.BaseRowsAfter(i)) > 0 {
+				t.Fatalf("seed %d: delete-heavy batch %d with no deletes", seed, i)
+			}
+		}
+		inter := GenerateShapedStream(seed, streamOps, InterleavedShape)
+		for i, op := range inter.Ops {
+			if len(op.Inserts) == 0 {
+				t.Fatalf("seed %d: interleaved batch %d with no inserts", seed, i)
+			}
+			if len(op.Deletes) == 0 && len(inter.BaseRowsAfter(i)) > 0 {
+				t.Fatalf("seed %d: interleaved batch %d with no deletes", seed, i)
+			}
+		}
+	}
+	if heavyDel <= 2*heavyIns {
+		t.Errorf("delete-heavy streams drew %d deletes vs %d inserts — not delete-heavy", heavyDel, heavyIns)
+	}
+	shapes := make(map[StreamShape]bool)
+	for seed := int64(1); seed <= 8; seed++ {
+		shapes[ShapeForSeed(seed)] = true
+	}
+	if len(shapes) != 3 {
+		t.Errorf("ShapeForSeed covers %d shapes over 8 seeds, want 3", len(shapes))
+	}
+	// The default shape must reproduce the historical generator exactly:
+	// fixed-seed failures from old runs stay reproducible.
+	a := GenerateUpdateStream(7, streamOps)
+	b := GenerateShapedStream(7, streamOps, DefaultShape)
+	if fmt.Sprintf("%v", a.Ops) != fmt.Sprintf("%v", b.Ops) {
+		t.Fatal("DefaultShape diverged from the historical stream generator")
 	}
 }

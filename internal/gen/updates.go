@@ -24,6 +24,42 @@ type StreamOp struct {
 	Deletes []engine.Row
 }
 
+// StreamShape weights the batch shapes a stream draws: per-batch op
+// counts are uniform over [MinDeletes, MaxDeletes] and [MinInserts,
+// MaxInserts], and each delete targets a random (possibly absent) row
+// with probability 1/MissDenom, a live row otherwise. Distinct shapes
+// stress distinct warm-start paths: insert-leaning batches the fixpoint
+// continuation, delete-heavy ones the over-delete/re-derive pipeline,
+// interleaved ones the mixed-batch chaining.
+type StreamShape struct {
+	MinDeletes, MaxDeletes int
+	MinInserts, MaxInserts int
+	MissDenom              int
+}
+
+// The weighted shape palette. DefaultShape reproduces the historical
+// generator draw-for-draw, so fixed seeds keep their streams.
+var (
+	DefaultShape     = StreamShape{MaxDeletes: 2, MaxInserts: 3, MissDenom: 4}
+	DeleteHeavyShape = StreamShape{MinDeletes: 1, MaxDeletes: 4, MaxInserts: 1, MissDenom: 8}
+	InterleavedShape = StreamShape{MinDeletes: 1, MaxDeletes: 2, MinInserts: 1, MaxInserts: 2, MissDenom: 4}
+)
+
+// ShapeForSeed is the weighted generator knob for seed-sweeping suites:
+// half the seed space keeps the historical mixed shape, the rest splits
+// between delete-heavy and interleaved batches so incremental delete
+// maintenance is exercised on every sweep.
+func ShapeForSeed(seed int64) StreamShape {
+	switch seed % 4 {
+	case 0, 1:
+		return DefaultShape
+	case 2:
+		return DeleteHeavyShape
+	default:
+		return InterleavedShape
+	}
+}
+
 // UpdateStream is a scenario plus a deterministic sequence of update
 // batches over its base instance.
 type UpdateStream struct {
@@ -47,10 +83,16 @@ func (us *UpdateStream) NumVersions() int { return len(us.Ops) + 1 }
 func (us *UpdateStream) BaseRowsAfter(n int) []engine.Row { return us.states[n] }
 
 // GenerateUpdateStream builds the scenario for the seed plus nOps update
-// batches over it. The op stream draws from an rng independent of the
-// scenario's, so the same seed produces the same (scenario, ops) pair
-// regardless of how either generator evolves its draw counts.
+// batches over it, using the historical DefaultShape.
 func GenerateUpdateStream(seed int64, nOps int) *UpdateStream {
+	return GenerateShapedStream(seed, nOps, DefaultShape)
+}
+
+// GenerateShapedStream is GenerateUpdateStream with an explicit batch
+// shape. The op stream draws from an rng independent of the scenario's,
+// so the same (seed, shape) produces the same (scenario, ops) pair
+// regardless of how either generator evolves its draw counts.
+func GenerateShapedStream(seed int64, nOps int, shape StreamShape) *UpdateStream {
 	sc := Generate(seed)
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed57ea4))
 	us := &UpdateStream{Scenario: sc}
@@ -108,8 +150,8 @@ func GenerateUpdateStream(seed int64, nOps int) *UpdateStream {
 		// Deletes: mostly live rows (real churn), sometimes a random row
 		// that may miss (a no-op the engine must tolerate). Drawn before
 		// inserts, mirroring Apply's delete-then-insert order.
-		for n := rng.Intn(3); n > 0; n-- {
-			if rng.Intn(4) > 0 {
+		for n := rng.Intn(shape.MaxDeletes-shape.MinDeletes+1) + shape.MinDeletes; n > 0; n-- {
+			if rng.Intn(shape.MissDenom) > 0 {
 				// Pick a live model row.
 				var liveIdx []int
 				for mi, m := range model {
@@ -135,7 +177,7 @@ func GenerateUpdateStream(seed int64, nOps int) *UpdateStream {
 		// Inserts: random rows; duplicates of live content are engine
 		// no-ops, re-inserts of deleted content resurrect it (with a
 		// fresh identity on the engine side).
-		for n := rng.Intn(4); n > 0; n-- {
+		for n := rng.Intn(shape.MaxInserts-shape.MinInserts+1) + shape.MinInserts; n > 0; n-- {
 			row := randomRow()
 			op.Inserts = append(op.Inserts, row)
 			key := engine.ContentKey(row.Rel, row.Vals)

@@ -145,13 +145,12 @@ type Session struct {
 	warmDone atomic.Bool
 
 	// Mutable-session state. The ring holds the retained snapshot
-	// versions (readers go through its own lock); verMu serializes
-	// writers and guards vers, the per-version update metadata that
-	// warm-start hints are assembled from. cacheMu guards the
-	// latest-result cache and the stability knowledge.
+	// versions together with the per-version ApplyInfo that warm-start
+	// hints are assembled from (readers go through the ring's own lock);
+	// verMu serializes writers so the version history stays linear.
+	// cacheMu guards the latest-result cache and the stability knowledge.
 	verMu sync.Mutex
 	ring  *engine.SnapshotRing
-	vers  map[uint64]*versionMeta
 
 	cacheMu sync.Mutex
 	results map[core.Semantics]*cachedResult
@@ -159,14 +158,6 @@ type Session struct {
 
 	requests atomic.Int64
 	updates  atomic.Int64
-}
-
-// versionMeta describes the update batch that produced one version:
-// everything warm-start hints need to relate it to its predecessor.
-type versionMeta struct {
-	changed    []string
-	inserted   map[string][]*engine.Tuple
-	insertOnly bool
 }
 
 // cachedResult is the most recent repair result for one semantics, with
@@ -196,7 +187,6 @@ func (sess *Session) warm() error {
 		sess.prep = prep
 		sess.snap = sess.db.Freeze()
 		sess.ring = engine.NewSnapshotRing(sess.snap, sess.maxVersions)
-		sess.vers = map[uint64]*versionMeta{1: {}}
 		sess.results = make(map[core.Semantics]*cachedResult)
 		sess.warmDone.Store(true)
 	})
@@ -266,33 +256,41 @@ func (sess *Session) stableHints(version uint64) *core.WarmStart {
 	return w
 }
 
-// changesSince folds the retained version metadata in (from, to] into a
-// WarmStart's change fields. ok is false when any version in the range
-// has been pruned from the ring, in which case no exact hints exist.
+// changesSince folds the ring's per-version update metadata in (from, to]
+// into a WarmStart's change fields. ok is false when any version in the
+// range has been evicted from the ring, in which case no exact hints
+// exist. Reading needs no writer lock: a version's metadata never changes
+// once recorded, and an eviction racing the walk simply reports the chain
+// broken (no hints) — the same answer a consistent read after the
+// eviction would give.
 func (sess *Session) changesSince(from, to uint64) (*core.WarmStart, bool) {
-	sess.verMu.Lock()
-	defer sess.verMu.Unlock()
 	w := &core.WarmStart{InsertOnly: true}
 	changedSet := make(map[string]bool)
 	for v := from + 1; v <= to; v++ {
-		meta := sess.vers[v]
-		if meta == nil {
+		info, ok := sess.ring.AppliedAt(v)
+		if !ok {
 			return nil, false
 		}
-		for _, rel := range meta.changed {
+		for _, rel := range info.Changed {
 			if !changedSet[rel] {
 				changedSet[rel] = true
 				w.ChangedRels = append(w.ChangedRels, rel)
 			}
 		}
-		if !meta.insertOnly {
+		if !info.InsertOnly() {
 			w.InsertOnly = false
 		}
-		for rel, tuples := range meta.inserted {
+		for rel, tuples := range info.InsertedTuples {
 			if w.Inserted == nil {
 				w.Inserted = make(map[string][]*engine.Tuple)
 			}
 			w.Inserted[rel] = append(w.Inserted[rel], tuples...)
+		}
+		for rel, tuples := range info.DeletedTuples {
+			if w.Deleted == nil {
+				w.Deleted = make(map[string][]*engine.Tuple)
+			}
+			w.Deleted[rel] = append(w.Deleted[rel], tuples...)
 		}
 	}
 	return w, true
@@ -712,18 +710,8 @@ func (s *Service) Update(ctx context.Context, name string, inserts, deletes []en
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
 	}
-	version := sess.ring.Advance(next)
-	sess.vers[version] = &versionMeta{
-		changed:    info.Changed,
-		inserted:   info.InsertedTuples,
-		insertOnly: info.InsertOnly(),
-	}
+	version := sess.ring.AdvanceApplied(next, info)
 	oldest := sess.ring.Oldest()
-	for v := range sess.vers {
-		if v < oldest {
-			delete(sess.vers, v)
-		}
-	}
 	sess.updates.Add(1)
 	return &UpdateResult{
 		Version:       version,

@@ -37,7 +37,7 @@ trap 'rm -f "$raw" "$json"' EXIT
 
 if [ "$check" = 1 ]; then
     # Key benches only: every leg a checked speedup is derived from.
-    benchre='^(BenchmarkPreparedRepair|BenchmarkForkVsClone|BenchmarkStepSearch|BenchmarkServerThroughput|BenchmarkSessionUpdate|BenchmarkColumnarVsRow|BenchmarkShardedDerivation)'
+    benchre='^(BenchmarkPreparedRepair|BenchmarkForkVsClone|BenchmarkStepSearch|BenchmarkServerThroughput|BenchmarkSessionUpdate|BenchmarkDeleteMaintenance|BenchmarkColumnarVsRow|BenchmarkShardedDerivation)'
     echo "running key benchmarks for the regression check..."
     go test -bench="$benchre" -benchmem -run='^$' "$@" . > "$raw"
 else
@@ -114,7 +114,12 @@ END {
           "BenchmarkStepSearch/fork", "BenchmarkStepSearch/clone")
     # Columnar frozen cores: same end-semantics repair with the columnar
     # read paths on vs the row-oriented reference, plus the allocation
-    # reduction the zero-copy/batch-probe paths buy.
+    # reduction the zero-copy/batch-probe paths buy. Expected speedup is
+    # ~1.0 (observed 0.96-1.3 across runs): the bench relations are a few
+    # hundred rows, so per-probe latency differences sit inside run noise.
+    # The entry is recorded for trend-watching but deliberately NOT gated
+    # in check mode; the columnar win this workload can measure stably is
+    # the allocation drop, gated via memory/columnar_vs_row below.
     ratio("comparison/columnar_vs_row", \
           "BenchmarkColumnarVsRow/columnar", "BenchmarkColumnarVsRow/row")
     memratio("memory/columnar_vs_row", \
@@ -140,6 +145,11 @@ END {
     # evict + rebuild + re-register + repair.
     ratio("session_update/incremental_vs_reregister", \
           "BenchmarkSessionUpdate/incremental", "BenchmarkSessionUpdate/reregister")
+    # Incremental delete maintenance: delete-heavy update stream repaired
+    # with warm-start hints (over-delete/re-derive + fixpoint continuation)
+    # vs the same stream recomputed from scratch each version.
+    ratio("session_update/incremental_delete_vs_recompute", \
+          "BenchmarkDeleteMaintenance/incremental", "BenchmarkDeleteMaintenance/recompute")
     print "\n]"
 }
 ' "$raw" > "$json"
@@ -183,13 +193,15 @@ function parse(line, arr, marr,    name, val) {
 }
 BEGIN {
     # Checked entries: large, stable cross-leg ratios. Deliberately not
-    # checked: parallel_vs_sequential (~1.0 on single-core CI) and the
-    # mas pair (~1.1) — a 25% band around parity is all noise.
+    # checked: parallel_vs_sequential (~1.0 on single-core CI), the mas
+    # pair (~1.1), and columnar_vs_row (~1.0; its stable signal is the
+    # memory ratio, gated below) — a 25% band around parity is all noise.
     keys["comparison/prepared_vs_unprepared_small"] = 1
     keys["comparison/fork_vs_clone"] = 1
     keys["comparison/step_search"] = 1
     keys["server_throughput/cached_vs_naive_c4"] = 1
     keys["session_update/incremental_vs_reregister"] = 1
+    keys["session_update/incremental_delete_vs_recompute"] = 1
     # Scaling entries must stay near 1.0: cost creeping up with base size
     # means O(changes) was lost. Checked against an absolute ceiling
     # rather than a relative band (the baseline itself is ~1.0).
