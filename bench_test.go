@@ -365,7 +365,11 @@ func BenchmarkPreparedRepair(b *testing.B) {
 // hash-sharded evaluation, Parallelism on a non-shardable program falls
 // back to sequential derivation — this pair pins that the fallback
 // decision itself costs nothing (the ratio should sit at ~1.0 on any
-// host). See BenchmarkShardedDerivation for the workload where
+// host). Single-core wall clock can still wobble well outside the band —
+// a committed snapshot once recorded 0.760 while both legs kept
+// byte-identical B/op and allocs/op, proving the code path never changed
+// — which is why this entry is recorded for trend-watching but not gated
+// in check mode. See BenchmarkShardedDerivation for the workload where
 // parallelism engages.
 func BenchmarkParallelDerivation(b *testing.B) {
 	ds := mas.Generate(mas.Config{Scale: 0.05, Seed: 1})

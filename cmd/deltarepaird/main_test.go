@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPprofShutdown covers the drain path for the -pprof listener: it must
+// serve while up and stop accepting connections after Shutdown — a leaked
+// listener would hold the port (and the process) past a graceful drain.
+func TestPprofShutdown(t *testing.T) {
+	psrv, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startPprof: %v", err)
+	}
+	url := "http://" + psrv.Addr + "/debug/pprof/"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := psrv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Fatal("pprof listener still accepting connections after Shutdown")
+	}
+}
+
+// TestSelfCheck runs the persist→crash→recover round trip the -selfcheck
+// flag exposes; CI drives the same path through the built binary.
+func TestSelfCheck(t *testing.T) {
+	if err := selfCheck(t.TempDir()); err != nil {
+		t.Fatalf("selfCheck: %v", err)
+	}
+}

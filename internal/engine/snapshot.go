@@ -65,6 +65,13 @@ type snapRelation struct {
 type snapshot struct {
 	Format    int // version tag for forward compatibility
 	Relations []snapRelation
+	// NextSeq is the database's global sequence counter at save time.
+	// Older snapshots lack it (gob decodes it as 0); LoadSnapshot then
+	// falls back to the max stored Seq, which can under-count when the
+	// highest-Seq tuples were deleted before the save. Persisting the
+	// counter keeps Seq allocation identical across a save/load boundary —
+	// a requirement for byte-identical crash recovery.
+	NextSeq int
 }
 
 // snapshotFormat is the current snapshot version: columnar relation
@@ -166,7 +173,7 @@ func (sc *snapCols) rows(arity int) ([]snapTuple, error) {
 // identifiers and order) to w.
 func (db *Database) Save(w io.Writer) error {
 	columnar := columnarOn.Load()
-	snap := snapshot{Format: snapshotFormat}
+	snap := snapshot{Format: snapshotFormat, NextSeq: db.seq}
 	if !columnar {
 		snap.Format = 1
 	}
@@ -299,6 +306,9 @@ func LoadSnapshot(r io.Reader) (*Database, error) {
 		for _, col := range sr.DeltaIdx {
 			db.delta[sr.Name].EnsureIndex(col)
 		}
+	}
+	if snap.NextSeq > maxSeq {
+		maxSeq = snap.NextSeq
 	}
 	db.seq = maxSeq
 	return db, nil

@@ -133,3 +133,36 @@ func TestSnapshotPreWarmsIndexes(t *testing.T) {
 		t.Fatalf("restored index lookup = %d, want 1", n)
 	}
 }
+
+// TestSnapshotSeqCounterSurvivesDeletes: the global Seq counter must
+// round-trip even when the highest-Seq tuples were deleted before the
+// save — otherwise tuples minted after a load would reuse Seq numbers,
+// breaking byte-identical replay in crash recovery.
+func TestSnapshotSeqCounterSurvivesDeletes(t *testing.T) {
+	schema, err := ParseSchema("R(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(schema)
+	keep := db.MustInsert("R", Int(1))
+	doomed := db.MustInsert("R", Int(2))
+	db.Relation("R").DeleteTuple(doomed)
+	_ = keep
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := db.MustInsert("R", Int(3))
+	reloaded := loaded.MustInsert("R", Int(3))
+	if orig.Seq != reloaded.Seq {
+		t.Fatalf("post-load Seq diverged: original %d, reloaded %d", orig.Seq, reloaded.Seq)
+	}
+	if orig.ID != reloaded.ID {
+		t.Fatalf("post-load ID diverged: original %s, reloaded %s", orig.ID, reloaded.ID)
+	}
+}

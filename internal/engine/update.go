@@ -165,11 +165,23 @@ const DefaultRetainedVersions = 4
 // capacity ≤ 0 means DefaultRetainedVersions; capacity 1 retains only the
 // head (every update immediately unpins all older versions).
 func NewSnapshotRing(base *Snapshot, capacity int) *SnapshotRing {
+	return NewSnapshotRingAt(base, 1, capacity)
+}
+
+// NewSnapshotRingAt starts a version history with base installed at the
+// given version number instead of 1. Crash recovery uses this to resume a
+// session's version counter where the durable history left off, so
+// version numbers handed to clients before a restart stay meaningful
+// after it. A version of 0 is treated as 1 (versions start at 1).
+func NewSnapshotRingAt(base *Snapshot, version uint64, capacity int) *SnapshotRing {
 	if capacity <= 0 {
 		capacity = DefaultRetainedVersions
 	}
-	r := &SnapshotRing{slots: make([]*Snapshot, capacity), metas: make([]*ApplyInfo, capacity), head: 1, n: 1}
-	r.slots[1%uint64(capacity)] = base
+	if version == 0 {
+		version = 1
+	}
+	r := &SnapshotRing{slots: make([]*Snapshot, capacity), metas: make([]*ApplyInfo, capacity), head: version, n: 1}
+	r.slots[version%uint64(capacity)] = base
 	return r
 }
 

@@ -361,3 +361,38 @@ func TestSnapshotRingAppliedMetadata(t *testing.T) {
 		t.Fatal("retained metadata lost after plain advance")
 	}
 }
+
+// TestSnapshotRingAt covers starting a version history at an arbitrary
+// version (crash recovery resumes the counter where the durable history
+// left off).
+func TestSnapshotRingAt(t *testing.T) {
+	snap, _ := updateTestSnapshot(t)
+	r := NewSnapshotRingAt(snap, 7, 2)
+	if got, ver := r.Head(); got != snap || ver != 7 {
+		t.Fatalf("head = v%d, want v7 with the base snapshot", ver)
+	}
+	if r.Oldest() != 7 || r.Retained() != 1 {
+		t.Fatalf("oldest=%d retained=%d, want 7/1", r.Oldest(), r.Retained())
+	}
+	next, _, err := snap.Apply([]Row{{Rel: "S", Vals: []Value{Int(9)}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Advance(next); v != 8 {
+		t.Fatalf("advance = %d, want 8", v)
+	}
+	if _, ok := r.At(7); !ok {
+		t.Fatal("version 7 evicted from a capacity-2 ring holding 2 versions")
+	}
+	if v := r.Advance(next); v != 9 {
+		t.Fatalf("advance = %d, want 9", v)
+	}
+	if _, ok := r.At(7); ok {
+		t.Fatal("version 7 still resolvable past the retention window")
+	}
+	// Version 0 normalizes to 1 (versions start at 1).
+	r0 := NewSnapshotRingAt(snap, 0, 1)
+	if _, ver := r0.Head(); ver != 1 {
+		t.Fatalf("ring at version 0 starts at %d, want 1", ver)
+	}
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server/durability"
+)
+
+// Server-level durability tests: crash recovery (including the mid-batch,
+// torn-tail, and corrupt-record shapes), evict-then-reload, deregister
+// deleting disk state, and the /metrics endpoint.
+
+func openDurable(t *testing.T, dir string, cfg Config) *Service {
+	t.Helper()
+	cfg.DataDir = dir
+	cfg.NoFsync = true // tests exercise crash recovery, not power loss
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return svc
+}
+
+// dumpHead renders a session's head state (every tuple's identity and
+// content, in scan order) for byte-identity assertions.
+func dumpHead(t *testing.T, svc *Service, name string) (string, uint64) {
+	t.Helper()
+	sess, err := svc.session(name)
+	if err != nil {
+		t.Fatalf("session %q: %v", name, err)
+	}
+	if err := sess.warm(); err != nil {
+		t.Fatalf("warm %q: %v", name, err)
+	}
+	head, ver := sess.ring.Head()
+	var b strings.Builder
+	fork := head.Fork()
+	for _, rs := range fork.Schema.Relations {
+		fork.Relation(rs.Name).Scan(func(tu *engine.Tuple) bool {
+			b.WriteString(tu.ID + "|" + tu.Key() + "\n")
+			return true
+		})
+	}
+	return b.String(), ver
+}
+
+func walPath(dir, name string) string {
+	return filepath.Join(dir, "s-"+name, "wal.log")
+}
+
+// TestDurableCrashRecoveryAllSemantics is the headline guarantee: after a
+// crash (no clean shutdown) spanning a compaction boundary, the recovered
+// session is byte-identical — same tuples, same identities, same version —
+// and every semantics produces the same repair it did before the crash.
+func TestDurableCrashRecoveryAllSemantics(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{SnapshotEvery: 2})
+	register(t, svc, "papers")
+	ctx := context.Background()
+
+	// Three batches (insert-only, mixed, delete-only) cross the
+	// SnapshotEvery=2 compaction boundary: recovery must load the
+	// compacted snapshot and replay the WAL tail.
+	batches := []struct{ ins, del []engine.Row }{
+		{ins: []engine.Row{row("Writes", engine.Int(2), engine.Int(6))}},
+		{ins: []engine.Row{row("Cite", engine.Int(6), engine.Int(7))},
+			del: []engine.Row{row("AuthGrant", engine.Int(4), engine.Int(2))}},
+		{del: []engine.Row{row("Writes", engine.Int(2), engine.Int(6))}},
+	}
+	var version uint64
+	for i, b := range batches {
+		res, err := svc.Update(ctx, "papers", b.ins, b.del, RequestOptions{})
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		version = res.Version
+	}
+	if version != 4 {
+		t.Fatalf("head version %d, want 4", version)
+	}
+	before := make(map[core.Semantics]string)
+	for _, sem := range core.AllSemantics {
+		res, _, err := svc.Repair(ctx, "papers", sem, RequestOptions{})
+		if err != nil {
+			t.Fatalf("pre-crash %s: %v", sem, err)
+		}
+		before[sem] = keysOf(res)
+	}
+	wantDump, _ := dumpHead(t, svc, "papers")
+	// Crash: abandon svc without Close.
+
+	svc2 := openDurable(t, dir, Config{SnapshotEvery: 2})
+	defer svc2.Close()
+	gotDump, gotVer := dumpHead(t, svc2, "papers")
+	if gotVer != version {
+		t.Fatalf("recovered version %d, want %d", gotVer, version)
+	}
+	if gotDump != wantDump {
+		t.Fatalf("recovered state not byte-identical:\n got:\n%s\nwant:\n%s", gotDump, wantDump)
+	}
+	for _, sem := range core.AllSemantics {
+		res, _, err := svc2.Repair(ctx, "papers", sem, RequestOptions{})
+		if err != nil {
+			t.Fatalf("post-recovery %s: %v", sem, err)
+		}
+		if keysOf(res) != before[sem] {
+			t.Fatalf("%s repair diverged:\n before: %s\n after:  %s", sem, before[sem], keysOf(res))
+		}
+	}
+	// The recovered session keeps accepting updates with continuous
+	// version numbers.
+	res, err := svc2.Update(ctx, "papers", []engine.Row{row("Grant", engine.Int(3), engine.Str("DFG"))}, nil, RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != version+1 {
+		t.Fatalf("post-recovery update version %d, want %d", res.Version, version+1)
+	}
+}
+
+// TestDurableMidBatchCrash simulates a crash after the WAL append but
+// before the update became visible (or acknowledged): recovery replays the
+// record, restoring the at-least-once contract.
+func TestDurableMidBatchCrash(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{})
+	register(t, svc, "papers")
+	ctx := context.Background()
+	if _, err := svc.Update(ctx, "papers", []engine.Row{row("Grant", engine.Int(3), engine.Str("DFG"))}, nil, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append version 3's record directly to the WAL, exactly as
+	// Service.Update would have, and "crash" before advancing memory.
+	log, err := durability.OpenLog(walPath(dir, "papers"), durability.FsyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &durability.Record{Version: 3, Inserts: []engine.Row{row("Grant", engine.Int(4), engine.Str("ANR"))}}
+	if err := log.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	svc2 := openDurable(t, dir, Config{})
+	defer svc2.Close()
+	dump, ver := dumpHead(t, svc2, "papers")
+	if ver != 3 {
+		t.Fatalf("recovered version %d, want 3 (mid-batch record replayed)", ver)
+	}
+	if !strings.Contains(dump, `Grant(i4,"ANR")`) {
+		t.Fatalf("mid-batch insert lost in recovery:\n%s", dump)
+	}
+}
+
+// TestDurableTornTail covers a crash mid-append at the server level: the
+// torn final record is truncated away and the session recovers to the
+// last intact version.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{})
+	register(t, svc, "papers")
+	ctx := context.Background()
+	if _, err := svc.Update(ctx, "papers", []engine.Row{row("Grant", engine.Int(3), engine.Str("DFG"))}, nil, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := durability.EncodeRecord(&durability.Record{Version: 3,
+		Inserts: []engine.Row{row("Grant", engine.Int(4), engine.Str("ANR"))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(walPath(dir, "papers"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	svc2 := openDurable(t, dir, Config{})
+	defer svc2.Close()
+	dump, ver := dumpHead(t, svc2, "papers")
+	if ver != 2 {
+		t.Fatalf("recovered version %d, want 2 (torn record dropped)", ver)
+	}
+	if strings.Contains(dump, "ANR") {
+		t.Fatalf("torn record partially applied:\n%s", dump)
+	}
+	// The torn-tail repair is surfaced in the metrics.
+	rr := httptest.NewRecorder()
+	svc2.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "deltarepaird_recovery_torn_tails_total 1") {
+		t.Errorf("torn tail not surfaced in metrics:\n%s", rr.Body.String())
+	}
+}
+
+// TestDurableCorruptRecord covers a flipped byte in a WAL record: the
+// corrupt record (and anything after it) is dropped and counted.
+func TestDurableCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{})
+	register(t, svc, "papers")
+	ctx := context.Background()
+	for i, rel := range []string{"DFG", "ANR"} {
+		ins := []engine.Row{row("Grant", engine.Int(3+i), engine.Str(rel))}
+		if _, err := svc.Update(ctx, "papers", ins, nil, RequestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := walPath(dir, "papers")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := openDurable(t, dir, Config{})
+	defer svc2.Close()
+	dump, ver := dumpHead(t, svc2, "papers")
+	if ver != 2 {
+		t.Fatalf("recovered version %d, want 2 (corrupt record dropped)", ver)
+	}
+	if strings.Contains(dump, "ANR") {
+		t.Fatalf("corrupt record applied:\n%s", dump)
+	}
+	rr := httptest.NewRecorder()
+	svc2.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "deltarepaird_recovery_corrupt_records_total 1") {
+		t.Errorf("corrupt record not surfaced in metrics:\n%s", rr.Body.String())
+	}
+}
+
+// TestDurableEvictThenReload: cache eviction is not deletion — the
+// evicted session's disk state stays, and the next access recovers it
+// with its update history intact.
+func TestDurableEvictThenReload(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{MaxSessions: 1})
+	defer svc.Close()
+	register(t, svc, "first")
+	ctx := context.Background()
+	if _, err := svc.Update(ctx, "first", []engine.Row{row("Grant", engine.Int(3), engine.Str("DFG"))}, nil, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	register(t, svc, "second") // evicts "first" (closes its WAL, keeps disk)
+	if svc.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", svc.Evictions())
+	}
+	// Accessing "first" reloads it from disk at version 2; "second" is
+	// evicted in turn.
+	res, err := svc.Update(ctx, "first", []engine.Row{row("Grant", engine.Int(4), engine.Str("ANR"))}, nil, RequestOptions{})
+	if err != nil {
+		t.Fatalf("update after evict+reload: %v", err)
+	}
+	if res.Version != 3 {
+		t.Fatalf("version after reload %d, want 3", res.Version)
+	}
+}
+
+// TestDurableDeregisterDeletesDisk: deregistration removes the durable
+// state, so the name is gone after a restart and re-registerable now.
+func TestDurableDeregisterDeletesDisk(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{})
+	register(t, svc, "papers")
+	if !svc.Deregister("papers") {
+		t.Fatal("deregister reported not found")
+	}
+	if _, err := svc.session("papers"); err == nil {
+		t.Fatal("session resolvable after deregister")
+	}
+	register(t, svc, "papers") // name free again
+	svc.Close()
+
+	svc2 := openDurable(t, dir, Config{})
+	defer svc2.Close()
+	names, err := svc2.Persisted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "papers" {
+		t.Fatalf("persisted after restart: %v", names)
+	}
+}
+
+// TestDurableDuplicateAcrossEviction: an evicted-but-persisted session
+// still counts as registered.
+func TestDurableDuplicateAcrossEviction(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, Config{MaxSessions: 1})
+	defer svc.Close()
+	register(t, svc, "first")
+	register(t, svc, "second") // evicts "first"
+	db, prog := fixture(t)
+	if err := svc.Register("first", db.Schema, db, prog); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("re-register of evicted durable session: %v, want duplicate", err)
+	}
+}
+
+// TestMetricsEndpoint exercises the inventory end to end over HTTP.
+func TestMetricsEndpoint(t *testing.T) {
+	svc := New(Config{})
+	register(t, svc, "papers")
+	ctx := context.Background()
+	if _, _, err := svc.Repair(ctx, "papers", core.SemEnd, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.Repair(ctx, "papers", core.SemEnd, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Update(ctx, "papers", []engine.Row{row("Grant", engine.Int(3), engine.Str("DFG"))}, nil, RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		`deltarepaird_requests_total{kind="register",status="ok"} 1`,
+		`deltarepaird_requests_total{kind="repair",status="ok"} 2`,
+		`deltarepaird_requests_total{kind="update",status="ok"} 1`,
+		`deltarepaird_session_starts_total{type="cold"} 1`,
+		`deltarepaird_session_starts_total{type="warm"} 2`,
+		"deltarepaird_sessions 1",
+		"deltarepaird_session_versions 2",
+		"deltarepaird_request_seconds_count 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(body, "# TYPE deltarepaird_request_seconds histogram") {
+		t.Error("histogram type line missing")
+	}
+}

@@ -20,6 +20,7 @@ import (
 // {"error": "..."} with a meaningful status code.
 //
 //	GET    /healthz                                liveness + cache stats
+//	GET    /metrics                                Prometheus text metrics
 //	GET    /v1/sessions                            list cached sessions
 //	POST   /v1/sessions                            register a session
 //	DELETE /v1/sessions/{name}                     evict a session
@@ -157,6 +158,7 @@ type ViewDeleteResponse struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("POST /v1/sessions", s.handleRegister)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeregister)

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// svcMetrics is the Service's metric inventory, rendered by GET /metrics
+// in the Prometheus text format. Every Service carries its own registry
+// (no process-global state), so embedded services and tests never collide.
+type svcMetrics struct {
+	reg *metrics.Registry
+
+	// requests partitions by request kind (repair, repair_all, is_stable,
+	// update, delete_view, register, deregister) and outcome (ok, error).
+	requests *metrics.CounterVec
+	// requestSeconds is end-to-end request latency, queueing included.
+	requestSeconds *metrics.Histogram
+	// starts partitions session activations: "warm" (already compiled and
+	// frozen), "cold" (first-request compile+freeze), "recovered" (loaded
+	// from the durability layer after a restart or eviction).
+	starts *metrics.CounterVec
+
+	// WAL and recovery instrumentation; all zero when durability is off.
+	walAppendSeconds *metrics.Histogram
+	recoverySeconds  *metrics.Histogram
+	replayedRecords  *metrics.Counter
+	tornTails        *metrics.Counter
+	corruptRecords   *metrics.Counter
+	compactions      *metrics.Counter
+}
+
+func newSvcMetrics(s *Service) *svcMetrics {
+	reg := metrics.NewRegistry()
+	m := &svcMetrics{
+		reg: reg,
+		requests: reg.NewCounterVec("deltarepaird_requests_total",
+			"Requests served, by kind and outcome.", "kind", "status"),
+		requestSeconds: reg.NewHistogram("deltarepaird_request_seconds",
+			"End-to-end request latency in seconds, admission queueing included.", nil),
+		starts: reg.NewCounterVec("deltarepaird_session_starts_total",
+			"Session activations by start type: warm, cold, or recovered from disk.", "type"),
+		walAppendSeconds: reg.NewHistogram("deltarepaird_wal_append_seconds",
+			"WAL append latency in seconds (includes fsync when the policy demands it).", nil),
+		recoverySeconds: reg.NewHistogram("deltarepaird_recovery_seconds",
+			"Per-session crash-recovery time in seconds (snapshot load + WAL replay).", nil),
+		replayedRecords: reg.NewCounter("deltarepaird_recovery_replayed_records_total",
+			"WAL records replayed during session recovery."),
+		tornTails: reg.NewCounter("deltarepaird_recovery_torn_tails_total",
+			"Recoveries that truncated a torn final WAL record."),
+		corruptRecords: reg.NewCounter("deltarepaird_recovery_corrupt_records_total",
+			"WAL records dropped for checksum or decode failures during recovery."),
+		compactions: reg.NewCounter("deltarepaird_snapshot_compactions_total",
+			"Snapshot compactions (WAL truncated into a fresh snapshot)."),
+	}
+	reg.NewGaugeFunc("deltarepaird_sessions",
+		"Sessions currently resident in the cache.",
+		func() float64 { return float64(s.Len()) })
+	reg.NewGaugeFunc("deltarepaird_evictions_total",
+		"Sessions evicted from the cache by LRU pressure (monotonic).",
+		func() float64 { return float64(s.Evictions()) })
+	reg.NewGaugeFunc("deltarepaird_session_versions",
+		"Sum of head snapshot versions across warmed resident sessions.",
+		func() float64 {
+			var sum uint64
+			for _, info := range s.Sessions() {
+				sum += info.Version
+			}
+			return float64(sum)
+		})
+	return m
+}
+
+// track records one request's outcome and latency; defer it at the top of
+// each public request method with the named error result.
+func (s *Service) track(kind string, start time.Time, errp *error) {
+	status := "ok"
+	if *errp != nil {
+		status = "error"
+	}
+	s.metrics.requests.With(kind, status).Inc()
+	s.metrics.requestSeconds.ObserveSeconds(time.Since(start))
+}
+
+// Metrics renders the service's metrics in the Prometheus text format.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.reg.WriteTo(w)
+}

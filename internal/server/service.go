@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/engine"
+	"repro/internal/server/durability"
 	"repro/internal/sideeffect"
 )
 
@@ -90,6 +92,23 @@ type Config struct {
 	// In-flight requests on older versions always complete — eviction only
 	// limits *new* pinned reads.
 	MaxVersions int
+
+	// DataDir enables durability: every registered session is persisted
+	// (snapshot + write-ahead log of update batches) under this directory,
+	// updates are logged before they become visible, and sessions are
+	// recovered lazily after a restart. Empty means pure in-memory
+	// sessions (the pre-durability behavior). Services with a DataDir must
+	// be built with Open, which can surface filesystem errors.
+	DataDir string
+	// NoFsync relaxes the WAL flush policy from fsync-per-append (the
+	// default: acknowledged updates survive power loss) to OS-buffered
+	// writes (acknowledged updates survive a process crash only).
+	NoFsync bool
+	// SnapshotEvery is the compaction cadence: after this many WAL
+	// records a fresh snapshot is written and the WAL truncated. 0 means
+	// durability.DefaultSnapshotEvery; negative disables automatic
+	// compaction.
+	SnapshotEvery int
 }
 
 // Service is a concurrent repair service over a cache of named sessions.
@@ -98,28 +117,105 @@ type Service struct {
 	cfg    Config
 	tokens chan struct{}
 
-	mu     sync.Mutex
-	byName map[string]*list.Element
-	lru    *list.List // of *Session; front = most recently used
+	mu      sync.Mutex
+	byName  map[string]*list.Element
+	lru     *list.List // of *Session; front = most recently used
+	loading map[string]*loadFlight
 
+	// dur is non-nil when durability is enabled (Config.DataDir set).
+	dur *durability.Manager
+
+	metrics   *svcMetrics
 	evictions atomic.Int64
 }
 
+// loadFlight deduplicates concurrent lazy recoveries of one session:
+// followers wait for the leader's disk load instead of racing it.
+type loadFlight struct {
+	done chan struct{}
+	err  error
+}
+
 // New builds a Service; zero-value Config fields take the documented
-// defaults.
+// defaults. New panics when Config.DataDir is set and the data directory
+// cannot be prepared — durable services should use Open, which returns
+// the error instead.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open is New returning filesystem errors: with Config.DataDir set it
+// prepares the data directory and arms lazy crash recovery — every
+// session persisted by an earlier process is restored (newest snapshot +
+// WAL tail replay) on its first access.
+func Open(cfg Config) (*Service, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
-	return &Service{
-		cfg:    cfg,
-		tokens: make(chan struct{}, cfg.MaxInFlight),
-		byName: make(map[string]*list.Element),
-		lru:    list.New(),
+	s := &Service{
+		cfg:     cfg,
+		tokens:  make(chan struct{}, cfg.MaxInFlight),
+		byName:  make(map[string]*list.Element),
+		lru:     list.New(),
+		loading: make(map[string]*loadFlight),
 	}
+	s.metrics = newSvcMetrics(s)
+	if cfg.DataDir != "" {
+		fsync := durability.FsyncAlways
+		if cfg.NoFsync {
+			fsync = durability.FsyncNever
+		}
+		m, err := durability.NewManager(durability.Options{
+			Dir: cfg.DataDir, Fsync: fsync, SnapshotEvery: cfg.SnapshotEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.dur = m
+	}
+	return s, nil
+}
+
+// Durable reports whether sessions persist across restarts.
+func (s *Service) Durable() bool { return s.dur != nil }
+
+// Persisted lists the names of sessions with durable state on disk
+// (resident in the cache or awaiting lazy recovery). Nil when durability
+// is disabled.
+func (s *Service) Persisted() ([]string, error) {
+	if s.dur == nil {
+		return nil, nil
+	}
+	return s.dur.List()
+}
+
+// Close flushes and closes every resident session's WAL. Durable state
+// stays on disk for the next process; the Service must not be used after
+// Close.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		sess := el.Value.(*Session)
+		if sess.store == nil {
+			continue
+		}
+		sess.verMu.Lock()
+		err := sess.store.Close()
+		sess.verMu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Session is one registered (schema, program, database) triple with its
@@ -132,6 +228,16 @@ type Session struct {
 	prog        *datalog.Program
 	tuples      int // live tuple count at Register time (db may be mid-freeze later)
 	maxVersions int
+
+	// store is the session's open durable state (WAL handle + compaction
+	// cadence); nil when durability is disabled. Guarded by verMu for
+	// appends and compaction, by the Service eviction path for Close.
+	store *durability.SessionStore
+	// recSnap/recVersion carry a crash-recovered head into warm(): the
+	// ring then starts at the recovered version instead of freezing db
+	// (which recovered sessions do not have) at version 1.
+	recSnap    *engine.Snapshot
+	recVersion uint64
 
 	// Single-flight warming: the first request (or Warm call) compiles
 	// the program and freezes the database exactly once; concurrent
@@ -185,8 +291,13 @@ func (sess *Session) warm() error {
 			return
 		}
 		sess.prep = prep
-		sess.snap = sess.db.Freeze()
-		sess.ring = engine.NewSnapshotRing(sess.snap, sess.maxVersions)
+		if sess.recSnap != nil {
+			sess.snap = sess.recSnap
+			sess.ring = engine.NewSnapshotRingAt(sess.recSnap, sess.recVersion, sess.maxVersions)
+		} else {
+			sess.snap = sess.db.Freeze()
+			sess.ring = engine.NewSnapshotRing(sess.snap, sess.maxVersions)
+		}
 		sess.results = make(map[core.Semantics]*cachedResult)
 		sess.warmDone.Store(true)
 	})
@@ -320,8 +431,17 @@ func (sess *Session) storeStable(version uint64, stable bool) {
 // the shared snapshot). Registering an existing name returns ErrDuplicate;
 // when the cache is full the least-recently-used session is evicted
 // (in-flight requests on an evicted session complete normally on their
-// forks). The program must already be validated against the schema.
-func (s *Service) Register(name string, schema *engine.Schema, db *engine.Database, prog *datalog.Program) error {
+// forks; with durability enabled its state stays on disk and the session
+// is recovered lazily on next access). The program must already be
+// validated against the schema.
+//
+// With durability enabled the registration is persisted — metadata, an
+// initial snapshot at version 1, and an empty WAL — before the session
+// becomes visible, and the atomic session-directory create arbitrates
+// duplicate names (an evicted-but-persisted session still counts as
+// registered).
+func (s *Service) Register(name string, schema *engine.Schema, db *engine.Database, prog *datalog.Program) (err error) {
+	defer s.track("register", time.Now(), &err)
 	if name == "" {
 		return fmt.Errorf("server: session name must be non-empty")
 	}
@@ -336,45 +456,158 @@ func (s *Service) Register(name string, schema *engine.Schema, db *engine.Databa
 		tuples:      db.TotalTuples(),
 		maxVersions: s.cfg.MaxVersions,
 	}
+	if s.dur != nil {
+		meta := durability.Meta{Name: name, Schema: schema.String(), Program: prog.String()}
+		store, cerr := s.dur.Create(meta, db)
+		if os.IsExist(cerr) {
+			return fmt.Errorf("%w: %q", ErrDuplicate, name)
+		}
+		if cerr != nil {
+			return fmt.Errorf("server: persisting session %q: %w", name, cerr)
+		}
+		sess.store = store
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.byName[name]; ok {
+		// Unreachable with durability on (Create would have hit ErrExist);
+		// the in-memory check carries the non-durable configuration.
 		return fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	s.byName[name] = s.lru.PushFront(sess)
+	s.evictOverflowLocked()
+	return nil
+}
+
+// evictOverflowLocked trims the LRU to capacity; caller holds s.mu.
+// Eviction is not deletion: a durable victim's WAL handle is closed but
+// its on-disk state survives for lazy recovery.
+func (s *Service) evictOverflowLocked() {
 	for s.lru.Len() > s.cfg.MaxSessions {
 		oldest := s.lru.Back()
 		victim := oldest.Value.(*Session)
 		s.lru.Remove(oldest)
 		delete(s.byName, victim.name)
 		s.evictions.Add(1)
+		if victim.store != nil {
+			// verMu keeps the close ordered after any in-flight append on
+			// the victim (lock order s.mu→verMu is acyclic: request paths
+			// never take s.mu while holding verMu).
+			victim.verMu.Lock()
+			victim.store.Close()
+			victim.verMu.Unlock()
+		}
 	}
-	return nil
 }
 
-// Deregister evicts a session by name, reporting whether it existed.
+// Deregister removes a session by name, reporting whether it existed.
+// With durability enabled this deletes the on-disk state too — the
+// counterpart of cache eviction, which merely closes it.
 func (s *Service) Deregister(name string) bool {
+	var err error
+	defer s.track("deregister", time.Now(), &err)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.byName[name]
-	if !ok {
-		return false
+	if ok {
+		s.lru.Remove(el)
+		delete(s.byName, name)
+		sess := el.Value.(*Session)
+		if sess.store != nil {
+			sess.verMu.Lock()
+			sess.store.Close()
+			sess.verMu.Unlock()
+		}
 	}
-	s.lru.Remove(el)
-	delete(s.byName, name)
-	return true
+	s.mu.Unlock()
+	existed := ok
+	if s.dur != nil && s.dur.Exists(name) {
+		existed = true
+		if derr := s.dur.Delete(name); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if !existed {
+		err = ErrNotFound
+	}
+	return existed
 }
 
 // session returns the named session, promoting it to most-recently-used.
+// With durability enabled, a cache miss for a persisted session triggers
+// lazy crash recovery (single-flight per name): the newest snapshot is
+// loaded, the WAL tail replayed, and the session re-enters the cache at
+// its pre-crash head version.
 func (s *Service) session(name string) (*Session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.byName[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	for {
+		s.mu.Lock()
+		if el, ok := s.byName[name]; ok {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			return el.Value.(*Session), nil
+		}
+		if s.dur == nil || !s.dur.Exists(name) {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if fl, ok := s.loading[name]; ok {
+			s.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			continue // leader inserted it; resolve through the cache
+		}
+		fl := &loadFlight{done: make(chan struct{})}
+		s.loading[name] = fl
+		s.mu.Unlock()
+
+		sess, err := s.loadSession(name)
+		s.mu.Lock()
+		delete(s.loading, name)
+		if err == nil {
+			s.byName[name] = s.lru.PushFront(sess)
+			s.evictOverflowLocked()
+		}
+		s.mu.Unlock()
+		fl.err = err
+		close(fl.done)
+		if err != nil {
+			return nil, err
+		}
+		return sess, nil
 	}
-	s.lru.MoveToFront(el)
-	return el.Value.(*Session), nil
+}
+
+// loadSession recovers one session from the durability layer.
+func (s *Service) loadSession(name string) (*Session, error) {
+	start := time.Now()
+	rec, err := s.dur.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering session %q: %w", name, err)
+	}
+	schema := rec.Snapshot.Schema()
+	prog, err := datalog.ParseAndValidate(rec.Meta.Program, schema)
+	if err != nil {
+		rec.Store.Close()
+		return nil, fmt.Errorf("server: recovering session %q program: %w", name, err)
+	}
+	s.metrics.recoverySeconds.ObserveSeconds(time.Since(start))
+	s.metrics.replayedRecords.Add(uint64(rec.Replayed))
+	if rec.WalStats.TornTail {
+		s.metrics.tornTails.Inc()
+	}
+	s.metrics.corruptRecords.Add(uint64(rec.WalStats.CorruptRecords))
+	s.metrics.starts.With("recovered").Inc()
+	return &Session{
+		name:        name,
+		schema:      schema,
+		prog:        prog,
+		tuples:      rec.Snapshot.TotalTuples(),
+		maxVersions: s.cfg.MaxVersions,
+		store:       rec.Store,
+		recSnap:     rec.Snapshot,
+		recVersion:  rec.Version,
+	}, nil
 }
 
 // Warm eagerly compiles and freezes the named session (normally done
@@ -550,9 +783,17 @@ func (s *Service) begin(ctx context.Context, name string, opts RequestOptions) (
 		s.release()
 		return nil, nil, nil, err
 	}
+	wasWarm := sess.warmDone.Load()
 	if err := sess.warm(); err != nil {
 		s.release()
 		return nil, nil, nil, err
+	}
+	if wasWarm {
+		s.metrics.starts.With("warm").Inc()
+	} else if sess.recSnap == nil {
+		// Recovered sessions were already counted as "recovered" at load
+		// time; everything else warming for the first time is a cold start.
+		s.metrics.starts.With("cold").Inc()
 	}
 	reqCtx, cancel := s.requestCtx(ctx, opts)
 	sess.requests.Add(1)
@@ -578,7 +819,8 @@ func (s *Service) Repair(ctx context.Context, name string, sem core.Semantics, o
 // an update confined to relations outside the program's read-set replays
 // the cached result with no derivation at all, and insert-only updates
 // continue the end-semantics fixpoint from the previous result.
-func (s *Service) RepairVersioned(ctx context.Context, name string, sem core.Semantics, opts RequestOptions) (*core.Result, *engine.Database, uint64, error) {
+func (s *Service) RepairVersioned(ctx context.Context, name string, sem core.Semantics, opts RequestOptions) (_ *core.Result, _ *engine.Database, _ uint64, err error) {
+	defer s.track("repair", time.Now(), &err)
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
 		return nil, nil, 0, err
@@ -607,7 +849,8 @@ func (s *Service) RepairAll(ctx context.Context, name string, opts RequestOption
 
 // RepairAllVersioned is RepairAll additionally reporting the snapshot
 // version the repairs executed against.
-func (s *Service) RepairAllVersioned(ctx context.Context, name string, opts RequestOptions) (map[core.Semantics]*core.Result, uint64, error) {
+func (s *Service) RepairAllVersioned(ctx context.Context, name string, opts RequestOptions) (_ map[core.Semantics]*core.Result, _ uint64, err error) {
+	defer s.track("repair_all", time.Now(), &err)
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
 		return nil, 0, err
@@ -646,7 +889,8 @@ func (s *Service) IsStable(ctx context.Context, name string, opts RequestOptions
 // alone can never destabilize a stable database — rule bodies are
 // positive), and updates outside the program's read-set need no
 // evaluation at all.
-func (s *Service) IsStableVersioned(ctx context.Context, name string, opts RequestOptions) (bool, uint64, error) {
+func (s *Service) IsStableVersioned(ctx context.Context, name string, opts RequestOptions) (_ bool, _ uint64, err error) {
+	defer s.track("is_stable", time.Now(), &err)
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
 		return false, 0, err
@@ -697,7 +941,17 @@ type UpdateResult struct {
 // (unknown relation, wrong arity) fails atomically with
 // ErrSchemaMismatch. Concurrent updates to one session serialize;
 // versions advance one batch at a time.
-func (s *Service) Update(ctx context.Context, name string, inserts, deletes []engine.Row, opts RequestOptions) (*UpdateResult, error) {
+//
+// With durability enabled the batch is appended to the session's
+// write-ahead log — flushed per the fsync policy — *before* the new
+// version becomes visible: an acknowledged update survives a crash. A
+// crash after the WAL append but before acknowledgement replays the batch
+// on recovery (at-least-once; replay is deterministic, so the recovered
+// state is exactly what the acknowledged history would have produced).
+// Every Config.SnapshotEvery batches the WAL is compacted into a fresh
+// snapshot.
+func (s *Service) Update(ctx context.Context, name string, inserts, deletes []engine.Row, opts RequestOptions) (_ *UpdateResult, err error) {
+	defer s.track("update", time.Now(), &err)
 	sess, _, done, err := s.begin(ctx, name, opts)
 	if err != nil {
 		return nil, err
@@ -705,12 +959,31 @@ func (s *Service) Update(ctx context.Context, name string, inserts, deletes []en
 	defer done()
 	sess.verMu.Lock()
 	defer sess.verMu.Unlock()
-	head, _ := sess.ring.Head()
+	head, headVer := sess.ring.Head()
 	next, info, err := head.Apply(inserts, deletes)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSchemaMismatch, err)
 	}
+	if sess.store != nil {
+		// The record carries the raw batch, not the effective rows: Apply
+		// is deterministic (no-ops stay no-ops), so replay reproduces the
+		// same state, tuple identities included.
+		rec := &durability.Record{Version: headVer + 1, Inserts: inserts, Deletes: deletes}
+		t0 := time.Now()
+		aerr := sess.store.Append(rec)
+		s.metrics.walAppendSeconds.ObserveSeconds(time.Since(t0))
+		if aerr != nil {
+			return nil, fmt.Errorf("server: persisting update for session %q: %w", name, aerr)
+		}
+	}
 	version := sess.ring.AdvanceApplied(next, info)
+	if sess.store != nil && sess.store.ShouldCompact() {
+		// A failed compaction is not a failed update (the batch is already
+		// durable in the WAL); the next batch simply retries.
+		if cerr := sess.store.Compact(next, version); cerr == nil {
+			s.metrics.compactions.Inc()
+		}
+	}
 	oldest := sess.ring.Oldest()
 	sess.updates.Add(1)
 	return &UpdateResult{
@@ -727,7 +1000,8 @@ func (s *Service) Update(ctx context.Context, name string, inserts, deletes []en
 // given values while keeping the database stable under the session's
 // program (§7 of the paper). The view source is parsed per request against
 // the session schema.
-func (s *Service) DeleteViewTuple(ctx context.Context, name, viewSrc string, target []engine.Value, opts RequestOptions) (*sideeffect.Result, error) {
+func (s *Service) DeleteViewTuple(ctx context.Context, name, viewSrc string, target []engine.Value, opts RequestOptions) (_ *sideeffect.Result, err error) {
+	defer s.track("delete_view", time.Now(), &err)
 	sess, reqCtx, done, err := s.begin(ctx, name, opts)
 	if err != nil {
 		return nil, err

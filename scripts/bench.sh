@@ -221,11 +221,18 @@ BEGIN {
     # Sharded evaluation is gated conditionally: a single-core host
     # records a baseline below 1.0 (shards run serially there), and a
     # 25% band around a sub-1.0 number is all noise. Once a multi-core
-    # snapshot establishes a genuine speedup (> 1.0), the entry becomes a
-    # checked key and a regression below the band fails the gate.
-    if (base["comparison/sharded_vs_sequential"] > 1.0)
+    # snapshot establishes a genuine speedup, the entry becomes a checked
+    # key and a regression below the band fails the gate. The arming
+    # threshold is 1.15, not 1.0: a single-core run can drift a few
+    # percent past parity on scheduler noise (the same jitter that once
+    # pushed parallel_vs_sequential to 0.760 — identical B/op and
+    # allocs/op across snapshots proved no code change was involved), and
+    # a baseline armed by such a fluke would make every later single-core
+    # run fail its floor. 1.15 is beyond single-core noise; only a real
+    # multi-core speedup arms the gate.
+    if (base["comparison/sharded_vs_sequential"] >= 1.15)
         keys["comparison/sharded_vs_sequential"] = 1
-    if (base["scaling/sharded_speedup_4cores"] > 1.0)
+    if (base["scaling/sharded_speedup_4cores"] >= 1.15)
         keys["scaling/sharded_speedup_4cores"] = 1
 
     fail = 0

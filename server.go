@@ -42,5 +42,14 @@ type (
 )
 
 // NewServer builds a repair service; zero-value config fields take the
-// documented defaults.
+// documented defaults. NewServer panics when ServerConfig.DataDir is set
+// and the data directory cannot be prepared — durable services should use
+// OpenServer, which returns the error instead.
 func NewServer(cfg ServerConfig) *Service { return server.New(cfg) }
+
+// OpenServer is NewServer returning filesystem errors. With
+// ServerConfig.DataDir set, sessions are durable: registrations and
+// update batches are persisted (write-ahead log + periodic snapshot
+// compaction) and crash recovery restores every persisted session to its
+// latest durable version on first access after a restart.
+func OpenServer(cfg ServerConfig) (*Service, error) { return server.Open(cfg) }

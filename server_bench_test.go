@@ -3,6 +3,7 @@ package deltarepair_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/server/durability"
 )
 
 // buildBenchWorkload models a production-shaped serving session: a
@@ -352,4 +354,40 @@ func runClients(b *testing.B, clients int, req func() error) {
 		b.Fatal(err)
 	default:
 	}
+}
+
+// BenchmarkWALAppend measures the durable-update overhead in isolation:
+// encoding one update batch into a length-prefixed, checksummed WAL frame
+// and appending it. The fsync leg is the default durability mode (every
+// batch survives power loss) and is dominated by the disk flush; the
+// nofsync leg (-fsync=false, survives process crash only) is the
+// encode+write cost the WAL adds to Service.Update on the in-memory path.
+func BenchmarkWALAppend(b *testing.B) {
+	rec := &durability.Record{
+		Version: 1,
+		Inserts: []engine.Row{
+			{Rel: "T1", Vals: []engine.Value{engine.Int(1), engine.Int(2)}},
+			{Rel: "T2", Vals: []engine.Value{engine.Int(3), engine.Int(4)}},
+		},
+		Deletes: []engine.Row{
+			{Rel: "T3", Vals: []engine.Value{engine.Int(5), engine.Int(6)}},
+		},
+	}
+	run := func(b *testing.B, policy durability.FsyncPolicy) {
+		log, err := durability.OpenLog(filepath.Join(b.TempDir(), "wal.log"), policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer log.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Version = uint64(i + 1)
+			if err := log.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fsync", func(b *testing.B) { run(b, durability.FsyncAlways) })
+	b.Run("nofsync", func(b *testing.B) { run(b, durability.FsyncNever) })
 }
