@@ -2,11 +2,42 @@ package deltarepair_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	deltarepair "repro"
 )
+
+func TestPublicAPIEnumerateAndQuery(t *testing.T) {
+	db, prog := apiDB(t)
+	space, err := deltarepair.EnumerateRepairs(db, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.K() < 2 || !space.Optimal {
+		t.Fatalf("running example space: k=%d optimal=%v", space.K(), space.Optimal)
+	}
+	single, _, err := deltarepair.Repair(db, prog, deltarepair.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(space.Repairs[0].Keys()), fmt.Sprint(single.Keys()); got != want {
+		t.Fatalf("repairs[0] %s != single independent repair %s", got, want)
+	}
+	// Grant(1,'NSF') survives every repair, Grant(2,'ERC') none.
+	v, err := deltarepair.ParseView("Q(g, n) :- Grant(g, n).", db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := deltarepair.AnswerQuery(db, v, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Certain) != 1 || len(ans.Possible) != 1 || ans.Certain[0][1].Str != "NSF" {
+		t.Fatalf("Grant CQA: certain %v possible %v, want the single NSF row", ans.Certain, ans.Possible)
+	}
+}
 
 func TestPublicAPIParallel(t *testing.T) {
 	db, prog := apiDB(t)

@@ -254,6 +254,32 @@ func BenchmarkSemantics(b *testing.B) {
 	}
 }
 
+// BenchmarkRepairEnumeration measures k-best repair enumeration against
+// the single-repair baseline on the MAS cascade: k=1 is one Min-Ones
+// solve over the shared provenance CNF (the RunIndependent path), k=8
+// adds up to seven blocking-clause re-solves plus materializations.
+// bench.sh turns the pair into the comparison/server_repairs entry.
+func BenchmarkRepairEnumeration(b *testing.B) {
+	ds := mas.Generate(mas.Config{Scale: 0.02, Seed: 1})
+	p, err := programs.MAS(10, ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 8} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sp, err := core.EnumerateRepairs(ds.DB, p, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sp.K() < 1 {
+					b.Fatal("empty repair space")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkColumnarVsRow contrasts the columnar frozen-core read paths
 // (batch probes with pushed-down column checks, zero-copy lookups) against
 // the row-oriented reference on the same end-semantics workload. Each leg

@@ -1,7 +1,8 @@
 // Command deltarepaird serves database repairs over HTTP: register named
 // (schema, program, database) sessions once, then answer repair,
-// repair-all, is-stable, and delete-view-tuple requests by forking the
-// session's frozen snapshot per request — no deep copies, no re-planning.
+// repair-all, repairs (k-best enumeration), query (consistent answers),
+// is-stable, and delete-view-tuple requests by forking the session's
+// frozen snapshot per request — no deep copies, no re-planning.
 //
 //	deltarepaird -addr :8080 -demo
 //
@@ -25,6 +26,15 @@
 //	# read-your-writes: pin the version the update returned
 //	curl -s localhost:8080/v1/sessions/papers/repair \
 //	     -d '{"semantics": "stage", "version": 2}'
+//
+//	# enumerate the 4 best minimal repairs (independent semantics) with
+//	# the per-tuple certain/possible deletion classification
+//	curl -s localhost:8080/v1/sessions/papers/repairs -d '{"k": 4}'
+//
+//	# consistent query answering: rows certain in every repair vs
+//	# possible in at least one, classified against the same repair space
+//	curl -s localhost:8080/v1/sessions/papers/query \
+//	     -d '{"query": "Q(p) :- Pub(p, a).", "k": 4}'
 //
 // With -data-dir, sessions are durable: registrations and update batches
 // are persisted (write-ahead log + periodic snapshot compaction) and

@@ -43,6 +43,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/cqa"
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/report"
@@ -350,6 +351,47 @@ func ParseView(src string, schema *Schema) (*View, error) {
 // and the repaired database.
 func DeleteViewTuple(db *Database, v *View, target []Value, p *Program) (*SideEffectResult, *Database, error) {
 	return sideeffect.DeleteViewTuple(db, v, target, p, sideeffect.Options{})
+}
+
+// Repair-space types: enumeration of the k best independent-semantics
+// repairs and consistent query answering across them.
+type (
+	// RepairSpace holds distinct minimal repairs in nondecreasing cost
+	// order plus the per-tuple certain/possible deletion classification.
+	RepairSpace = core.RepairSpace
+	// EnumerateOptions selects the space width (K) and the minimality
+	// notion (set-minimal k-best, or cardinality-minimal only).
+	EnumerateOptions = core.EnumerateOptions
+	// Answers reports one conjunctive query's certain and possible answers
+	// over a repair space.
+	Answers = cqa.Answers
+)
+
+// MaxEnumRepairs caps EnumerateOptions.K (the per-tuple repair membership
+// is a 64-bit mask).
+const MaxEnumRepairs = core.MaxEnumRepairs
+
+// EnumerateRepairs computes the k best independent-semantics repairs:
+// distinct set-minimal stabilizing sets in nondecreasing cost order, with
+// EnumerateRepairs(db, p, 1) identical to Repair(db, p, Independent). The
+// input database is cloned, never mutated.
+func EnumerateRepairs(db *Database, p *Program, k int) (*RepairSpace, error) {
+	return core.EnumerateRepairs(db, p, k)
+}
+
+// EnumerateRepairsWith is EnumerateRepairs with explicit executor options
+// (prepared plans, parallelism, context, solver budget) and enumeration
+// options (cardinality-only mode).
+func EnumerateRepairsWith(db *Database, p *Program, opts Options, eopts EnumerateOptions) (*RepairSpace, error) {
+	return core.EnumerateRepairsWith(db, p, opts, eopts)
+}
+
+// AnswerQuery evaluates a conjunctive query consistently across a repair
+// space: certain answers hold in every enumerated repair, possible answers
+// in at least one. The database must be the instance the space was
+// enumerated from (or a fork of the same snapshot version).
+func AnswerQuery(db *Database, v *View, space *RepairSpace) (*Answers, error) {
+	return cqa.Answer(db, v, space)
 }
 
 // SaveSnapshot / LoadSnapshot persist a database (schema, base and delta

@@ -57,7 +57,26 @@ func RunIndependent(db *engine.Database, p *datalog.Program, opts IndependentOpt
 	return runIndependent(nil, db, prep, 0, opts)
 }
 
-func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*Result, *engine.Database, error) {
+// indCNF is the compiled Algorithm 1 instance — the positivized provenance
+// formula negated into CNF over deletion variables, plus the solver
+// steering derived from it. It is shared between the single-repair solver
+// (runIndependent) and the repair-space enumerator (enumerateRepairs): both
+// must see the byte-identical formula so their first solutions agree.
+type indCNF struct {
+	formula    *provenance.Formula
+	cnf        *sat.Formula
+	ids        []engine.TupleID
+	varOf      map[engine.TupleID]int
+	preDeleted map[engine.TupleID]bool
+	prefer     []int
+	weights    []int64
+	evalDur    time.Duration
+	ppDur      time.Duration
+}
+
+// buildIndependentCNF runs phases 1–2 of Algorithm 1 (Eval + ProcessProv)
+// and assembles the solver inputs.
+func buildIndependentCNF(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*indCNF, error) {
 	maxClauses := opts.MaxClauses
 	if maxClauses <= 0 {
 		maxClauses = DefaultMaxClauses
@@ -111,19 +130,19 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 			})
 		for ri := range prep.Rules {
 			if errs[ri] != nil {
-				return nil, nil, errs[ri]
+				return nil, errs[ri]
 			}
 			if err := ctxErr(ctx); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if overflow[ri] {
-				return nil, nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+				return nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
 			}
 			for ci, c := range locals[ri].Clauses {
 				formula.Add(locals[ri].Heads[ci], c)
 			}
 			if formula.Len() > maxClauses {
-				return nil, nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
+				return nil, fmt.Errorf("core: provenance formula exceeded %d clauses", maxClauses)
 			}
 		}
 	} else {
@@ -132,7 +151,7 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 		for _, pr := range prep.Rules {
 			if err := ctxErr(ctx); err != nil {
 				prep.ReleaseContext(ec)
-				return nil, nil, err
+				return nil, err
 			}
 			emitted := 0
 			err := pr.EvalFromBase(db, true, ec, func(asn *datalog.Assignment) bool {
@@ -146,16 +165,16 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 			})
 			if err != nil {
 				prep.ReleaseContext(ec)
-				return nil, nil, err
+				return nil, err
 			}
 			if evalErr != nil {
 				prep.ReleaseContext(ec)
-				return nil, nil, evalErr
+				return nil, evalErr
 			}
 		}
 		prep.ReleaseContext(ec)
 		if err := ctxErr(ctx); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	evalDur := time.Since(evalStart)
@@ -167,7 +186,7 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 	// string keys exist anywhere on this path.
 	ppStart := time.Now()
 	if err := ctxErr(ctx); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ids := formula.TupleIDs()
 	varOf := make(map[engine.TupleID]int, len(ids))
@@ -184,7 +203,7 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 			lits = append(lits, -varOf[id])
 		}
 		if err := cnf.AddClause(lits...); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	// Pre-existing deletions are facts, not choices: force their
@@ -245,13 +264,63 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 		}
 	}
 
-	// Phase 3 (Solve): Min-Ones-SAT (line 5).
-	solveStart := time.Now()
+	return &indCNF{
+		formula:    formula,
+		cnf:        cnf,
+		ids:        ids,
+		varOf:      varOf,
+		preDeleted: preDeleted,
+		prefer:     prefer,
+		weights:    weights,
+		evalDur:    evalDur,
+		ppDur:      ppDur,
+	}, nil
+}
+
+// satOptions assembles the solver options for one Min-Ones search over the
+// compiled CNF.
+func (ic *indCNF) satOptions(ctx context.Context, opts IndependentOptions) sat.Options {
 	var cancel func() bool
 	if ctx != nil {
 		cancel = func() bool { return ctx.Err() != nil }
 	}
-	solved := sat.MinOnes(cnf, sat.Options{MaxNodes: opts.MaxNodes, Prefer: prefer, Weights: weights, Cancel: cancel})
+	return sat.Options{MaxNodes: opts.MaxNodes, Prefer: ic.prefer, Weights: ic.weights, Cancel: cancel}
+}
+
+// materialize turns a satisfying assignment into the deleted-tuple set and
+// the repaired fork, verifying stabilization (correctness of Algorithm 1):
+// fail loudly rather than return a bad repair.
+func (ic *indCNF) materialize(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, assignment []bool) ([]*engine.Tuple, *engine.Database, error) {
+	work := db.Fork()
+	var deleted []*engine.Tuple
+	for i, id := range ic.ids {
+		if assignment[i+1] && !ic.preDeleted[id] {
+			t := db.LookupID(id)
+			if t == nil || !work.DeleteTupleToDelta(t) {
+				return nil, nil, fmt.Errorf("core: solver selected unknown tuple t%d", id)
+			}
+			deleted = append(deleted, t)
+		}
+	}
+	stable, err := CheckStableParCtx(ctx, work, prep, par)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !stable {
+		return nil, nil, fmt.Errorf("core: independent repair failed to stabilize (internal error)")
+	}
+	return deleted, work, nil
+}
+
+func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prepared, par int, opts IndependentOptions) (*Result, *engine.Database, error) {
+	ic, err := buildIndependentCNF(ctx, db, prep, par, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 3 (Solve): Min-Ones-SAT (line 5).
+	solveStart := time.Now()
+	solved := sat.MinOnes(ic.cnf, ic.satOptions(ctx, opts))
 	solveDur := time.Since(solveStart)
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, err
@@ -264,33 +333,17 @@ func runIndependent(ctx context.Context, db *engine.Database, prep *datalog.Prep
 
 	// Output (line 6): tuples whose deletion variable is true.
 	updStart := time.Now()
-	work := db.Fork()
-	var deleted []*engine.Tuple
-	for i, id := range ids {
-		if solved.Assignment[i+1] && !preDeleted[id] {
-			t := db.LookupID(id)
-			if t == nil || !work.DeleteTupleToDelta(t) {
-				return nil, nil, fmt.Errorf("core: solver selected unknown tuple t%d", id)
-			}
-			deleted = append(deleted, t)
-		}
-	}
-	// Safety net: the satisfying assignment must stabilize (correctness of
-	// Algorithm 1); verify and fail loudly rather than return a bad repair.
-	stable, err := CheckStableParCtx(ctx, work, prep, par)
+	deleted, work, err := ic.materialize(ctx, db, prep, par, solved.Assignment)
 	if err != nil {
 		return nil, nil, err
-	}
-	if !stable {
-		return nil, nil, fmt.Errorf("core: independent repair failed to stabilize (internal error)")
 	}
 	updDur := time.Since(updStart)
 
 	res := newResult(SemIndependent, deleted)
 	res.Optimal = solved.Optimal
 	res.SolverNodes = solved.Nodes
-	res.FormulaClauses = formula.Len()
+	res.FormulaClauses = ic.formula.Len()
 	res.RepairCost = solved.WeightedCost
-	res.Timing = Breakdown{Eval: evalDur, ProcessProv: ppDur, Solve: solveDur, Update: updDur}
+	res.Timing = Breakdown{Eval: ic.evalDur, ProcessProv: ic.ppDur, Solve: solveDur, Update: updDur}
 	return res, work, nil
 }

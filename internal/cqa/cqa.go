@@ -1,0 +1,85 @@
+// Package cqa answers conjunctive queries consistently across a space of
+// repairs: an answer is *certain* when it holds in every repair and
+// *possible* when it holds in at least one (the classical consistent
+// query answering notions, evaluated Molinaro–Chomicki-style over a
+// compact representation of the repair space instead of materializing and
+// re-querying each repair).
+//
+// The representation is core.RepairSpace's per-tuple deletion mask: bit i
+// says repair i deletes the tuple. The query is evaluated once over the
+// unrepaired database — every repair is a subset of it, so the witnesses
+// found there cover every repair — and each witness's survival mask is the
+// complement of the OR of its tuples' deletion masks. An answer row's mask
+// is the OR over its witnesses: all-ones means certain, nonzero means
+// possible. One evaluation pass classifies against all k repairs at once.
+package cqa
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sideeffect"
+)
+
+// Answers reports the consistent answers of one conjunctive query against
+// a repair space. All classifications are relative to the space's
+// enumerated repairs: when Complete is false, unenumerated repairs may
+// exist, making Certain an over-approximation (a further repair could
+// break an answer) and Possible an under-approximation of the answers
+// over the full space.
+type Answers struct {
+	// Columns is the query head arity.
+	Columns int
+	// Certain lists the rows derivable in every repair, in first-derived
+	// order (deterministic for a given database).
+	Certain [][]engine.Value
+	// Possible lists the rows derivable in at least one repair — certain
+	// rows included — in the same order.
+	Possible [][]engine.Value
+	// Repairs is the number of repairs classified against.
+	Repairs int
+	// Complete and Optimal mirror the repair space's flags.
+	Complete bool
+	Optimal  bool
+}
+
+// Answer evaluates the conjunctive view over db (the unrepaired instance
+// the space was enumerated from, or any fork of the same snapshot version:
+// tuple identities must match the space's masks) and classifies every
+// answer row as certain and/or possible across the space's repairs.
+func Answer(db *engine.Database, v *sideeffect.View, space *core.RepairSpace) (*Answers, error) {
+	rows, err := v.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	full := space.FullMask()
+	ans := &Answers{
+		Columns:  len(v.HeadVars),
+		Repairs:  space.K(),
+		Complete: space.Complete,
+		Optimal:  space.Optimal,
+	}
+	for _, row := range rows {
+		// live accumulates the repairs in which *some* witness survives
+		// intact; a witness dies in exactly the repairs deleting any of
+		// its tuples.
+		var live uint64
+		for _, w := range row.Witnesses {
+			var dead uint64
+			for _, tp := range w {
+				dead |= space.DeletedMask(tp.TID)
+			}
+			live |= full &^ dead
+			if live == full {
+				break
+			}
+		}
+		if live == 0 {
+			continue
+		}
+		ans.Possible = append(ans.Possible, row.Values)
+		if live == full {
+			ans.Certain = append(ans.Certain, row.Values)
+		}
+	}
+	return ans, nil
+}

@@ -27,6 +27,8 @@ import (
 //	POST   /v1/sessions/{name}/update              insert/delete base tuples → new version
 //	POST   /v1/sessions/{name}/repair              run one semantics
 //	POST   /v1/sessions/{name}/repair-all          run all four + containments
+//	POST   /v1/sessions/{name}/repairs             enumerate the k best repairs
+//	POST   /v1/sessions/{name}/query               certain/possible answers (CQA)
 //	POST   /v1/sessions/{name}/is-stable           stability probe
 //	POST   /v1/sessions/{name}/delete-view-tuple   deletion propagation (§7)
 //
@@ -165,6 +167,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{name}/update", s.handleUpdate)
 	mux.HandleFunc("POST /v1/sessions/{name}/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/sessions/{name}/repair-all", s.handleRepairAll)
+	mux.HandleFunc("POST /v1/sessions/{name}/repairs", s.handleRepairs)
+	mux.HandleFunc("POST /v1/sessions/{name}/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/sessions/{name}/is-stable", s.handleIsStable)
 	mux.HandleFunc("POST /v1/sessions/{name}/delete-view-tuple", s.handleDeleteViewTuple)
 	return mux

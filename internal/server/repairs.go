@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cqa"
+	"repro/internal/sideeffect"
+)
+
+// spaceKey identifies one cached repair space. Spaces depend on everything
+// the key carries: the snapshot version, the effective (clamped) k, the
+// effective solver budget — a truncated enumeration under a small budget
+// must never be replayed for a request that asked for a larger one — and
+// the minimality mode.
+type spaceKey struct {
+	version  uint64
+	k        int
+	nodes    int64
+	cardOnly bool
+}
+
+// cachedSpace returns the space cached under key, or nil.
+func (sess *Session) cachedSpace(key spaceKey) *core.RepairSpace {
+	sess.cacheMu.Lock()
+	defer sess.cacheMu.Unlock()
+	return sess.spaces[key]
+}
+
+// storeSpace caches an enumerated space, pruning entries whose version has
+// left the retention ring (they can never be requested again — resolve
+// fails first), which bounds the cache to the retained-version window.
+func (sess *Session) storeSpace(key spaceKey, sp *core.RepairSpace) {
+	oldest := sess.ring.Oldest()
+	sess.cacheMu.Lock()
+	defer sess.cacheMu.Unlock()
+	for k := range sess.spaces {
+		if k.version < oldest {
+			delete(sess.spaces, k)
+		}
+	}
+	sess.spaces[key] = sp
+}
+
+// spaceFor returns the session's repair space for (version, k, budget,
+// mode), enumerating and caching it on a miss. The caller must hold an
+// admission token (begin) and have resolved the version.
+func (s *Service) spaceFor(sess *Session, reqCtx context.Context, version uint64, eopts core.EnumerateOptions, opts RequestOptions) (*core.RepairSpace, error) {
+	copts := s.coreOptions(sess, reqCtx, opts)
+	key := spaceKey{
+		version:  version,
+		k:        core.ClampEnumK(eopts.K),
+		nodes:    copts.Independent.MaxNodes,
+		cardOnly: eopts.CardinalityOnly,
+	}
+	if sp := sess.cachedSpace(key); sp != nil {
+		return sp, nil
+	}
+	snap, _, err := sess.resolve(version)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := core.EnumerateRepairsWith(snap.Fork(), sess.prog, copts, eopts)
+	if err != nil {
+		return nil, err
+	}
+	sess.storeSpace(key, sp)
+	return sp, nil
+}
+
+// EnumerateRepairs computes the k-best independent-semantics repair space
+// for the named session — distinct minimal repairs in nondecreasing cost
+// order plus the per-tuple certain/possible classification — on a private
+// fork of the session's snapshot (head, or the version pinned in opts).
+// Spaces are cached per (version, k, solver budget, minimality mode) and
+// replayed until an update mints a new version.
+func (s *Service) EnumerateRepairs(ctx context.Context, name string, eopts core.EnumerateOptions, opts RequestOptions) (_ *core.RepairSpace, _ uint64, err error) {
+	defer s.track("repairs", time.Now(), &err)
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	_, version, err := sess.resolve(opts.Version)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp, err := s.spaceFor(sess, reqCtx, version, eopts, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sp, version, nil
+}
+
+// Query answers a conjunctive query consistently across the session's
+// repair space: certain answers hold in every enumerated repair, possible
+// answers in at least one. The query source is parsed per request against
+// the session schema (same surface as DeleteViewTuple views); the space is
+// resolved through the same per-(version, k, budget, mode) cache as
+// EnumerateRepairs, so repeated queries against one version enumerate
+// once.
+func (s *Service) Query(ctx context.Context, name, querySrc string, eopts core.EnumerateOptions, opts RequestOptions) (_ *cqa.Answers, _ uint64, err error) {
+	defer s.track("query", time.Now(), &err)
+	sess, reqCtx, done, err := s.begin(ctx, name, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	v, err := sideeffect.ParseView(querySrc, sess.schema)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	snap, version, err := sess.resolve(opts.Version)
+	if err != nil {
+		return nil, 0, err
+	}
+	sp, err := s.spaceFor(sess, reqCtx, version, eopts, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	ans, err := cqa.Answer(snap.Fork(), v, sp)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ans, version, nil
+}

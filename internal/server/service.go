@@ -261,6 +261,7 @@ type Session struct {
 	cacheMu sync.Mutex
 	results map[core.Semantics]*cachedResult
 	stable  *stableState
+	spaces  map[spaceKey]*core.RepairSpace
 
 	requests atomic.Int64
 	updates  atomic.Int64
@@ -299,6 +300,7 @@ func (sess *Session) warm() error {
 			sess.ring = engine.NewSnapshotRing(sess.snap, sess.maxVersions)
 		}
 		sess.results = make(map[core.Semantics]*cachedResult)
+		sess.spaces = make(map[spaceKey]*core.RepairSpace)
 		sess.warmDone.Store(true)
 	})
 	return sess.warmErr

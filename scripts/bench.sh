@@ -141,6 +141,13 @@ END {
           "BenchmarkServerThroughput/cached/c4", "BenchmarkServerThroughput/naive/c4")
     ratio("server_throughput/cached_vs_naive_c16", \
           "BenchmarkServerThroughput/cached/c16", "BenchmarkServerThroughput/naive/c16")
+    # Repair enumeration behind the repairs/query endpoints: cost of the
+    # k=8 space over the single k=1 repair. The provenance CNF is built
+    # once and shared across solves, so the factor should sit well below
+    # 8x; recorded for trend-watching, not gated (new entries need a few
+    # snapshots of history first).
+    ratio("server_repairs/k8_vs_k1_cost", \
+          "BenchmarkRepairEnumeration/k1", "BenchmarkRepairEnumeration/k8")
     # Mutable sessions: small-delta update + repair on the live session vs
     # evict + rebuild + re-register + repair.
     ratio("session_update/incremental_vs_reregister", \
